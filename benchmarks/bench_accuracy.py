@@ -1,0 +1,39 @@
+"""Extension bench: numerical accuracy vs. fast-recursion depth.
+
+The paper defers numerics to Higham; a releasable library measures
+them.  Expectation: the standard algorithm sits near machine epsilon,
+and each Strassen/Winograd level multiplies the normwise error by a
+small constant while removing 1/8 of the products — the hybrid's
+``fast_levels`` knob trades exactly along that curve.
+"""
+
+from benchmarks.conftest import register_table
+from repro.analysis.accuracy import error_growth
+from repro.analysis.report import format_table
+
+
+def test_error_growth_table(benchmark):
+    def run():
+        out = []
+        for workload in ("gaussian", "graded"):
+            out.extend(error_growth(n=256, tile=16, workload=workload))
+        return out
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    register_table(
+        "Extension: normwise error vs fast levels (hybrid strassen, n=256)",
+        format_table(
+            ["workload", "fast levels", "rel error", "multiply flops"],
+            [
+                [r["workload"], r["fast_levels"], r["rel_error"],
+                 r["multiply_flops"]]
+                for r in rows
+            ],
+        ),
+    )
+    gaussian = [r for r in rows if r["workload"] == "gaussian"]
+    errs = [r["rel_error"] for r in gaussian]
+    flops = [r["multiply_flops"] for r in gaussian]
+    assert errs[0] < 1e-14
+    assert errs[-1] > errs[0]
+    assert flops[-1] < flops[0]

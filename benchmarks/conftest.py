@@ -1,0 +1,27 @@
+"""Benchmark-harness plumbing.
+
+Each bench module both (a) times its kernel with pytest-benchmark and
+(b) regenerates the rows/series of one paper figure or table.  The
+tables are registered here and dumped in the terminal summary, so
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` captures
+the full reproduction alongside the timing statistics.
+"""
+
+from __future__ import annotations
+
+_TABLES: list[tuple[str, str]] = []
+
+
+def register_table(title: str, text: str) -> None:
+    """Queue a reproduced figure/table for the end-of-run summary."""
+    _TABLES.append((title, text))
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _TABLES:
+        return
+    tr = terminalreporter
+    tr.write_sep("=", "reproduced paper figures/tables")
+    for title, text in _TABLES:
+        tr.write_sep("-", title)
+        tr.write_line(text)

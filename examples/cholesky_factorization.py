@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Beyond matmul: recursive Cholesky over recursive layouts.
+
+The paper's related work cites Gustavson (1997): recursive control
+structures give "automatic variable blocking" for dense linear algebra
+generally, not just matrix multiplication.  This example factors an SPD
+matrix with the library's recursive Cholesky — whose TRSM and SYRK
+steps run on the same quadrant views, orientation corrections and
+streaming ops as the multiplication algorithms — and cross-checks
+against numpy.
+"""
+
+import numpy as np
+
+from repro.algorithms import cholesky
+from repro.matrix import TileRange
+
+rng = np.random.default_rng(0)
+
+
+def main() -> None:
+    n = 500
+    x = rng.standard_normal((n, n))
+    a = x @ x.T + n * np.eye(n)  # SPD
+
+    print(f"factoring a {n}x{n} SPD matrix over each recursive layout...")
+    ref = np.linalg.cholesky(a)
+    for layout in ("LZ", "LU", "LX", "LG", "LH"):
+        L = cholesky(a, layout=layout, trange=TileRange(16, 32))
+        err_factor = float(np.abs(L - ref).max())
+        err_recon = float(np.abs(L @ L.T - a).max() / np.abs(a).max())
+        print(f"  {layout}: |L - numpy| = {err_factor:.2e}   "
+              f"|LL^T - A|/|A| = {err_recon:.2e}")
+
+    # Non-power-of-two size: the identity pad keeps definiteness.
+    n2 = 333
+    a2 = a[:n2, :n2]
+    L2 = cholesky(a2, trange=TileRange(16, 32))
+    print(f"\nn={n2} (padded internally): "
+          f"|L - numpy| = {float(np.abs(L2 - np.linalg.cholesky(a2)).max()):.2e}")
+
+    print("\nThe factorization reuses the multiplication substrate:")
+    print(" * TRSM splits into quadrant solves + one recursive multiply")
+    print(" * SYRK is the standard recursive multiplication")
+    print(" * Gray/Hilbert orientation corrections apply unchanged")
+
+
+if __name__ == "__main__":
+    main()

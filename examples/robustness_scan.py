@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Figure 5 reproduction: performance robustness as n varies.
+
+Sweeps n across a range straddling a pathological power-of-two size and
+simulates the memory hierarchy (UltraSPARC-like geometry: direct-mapped
+16KB L1 / 512KB L2, 64-entry TLB) for:
+
+  * standard algorithm, canonical L_C layout (leading dimension = n)
+  * standard algorithm, Z-Morton layout
+  * Strassen, both layouts
+
+Expected shape (and the paper's finding): L_C + standard swings wildly
+and reproducibly; L_Z damps the swings; Strassen is flat under both
+layouts because its temporaries halve the leading dimension each level.
+"""
+
+from repro.analysis import ascii_plot, fig5_robustness, format_table
+
+
+def main() -> None:
+    n_values = list(range(248, 281, 4))
+    print(f"simulating n in {n_values} (tile 16, UltraSPARC-like machine)...")
+    rows = fig5_robustness(n_values=n_values, tile=16)
+    keys = ["standard_LC", "standard_LZ", "strassen_LC", "strassen_LZ"]
+    print(
+        format_table(
+            ["n"] + keys,
+            [[r["n"]] + [r[k] for k in keys] for r in rows],
+            "Simulated memory cycles per flop:",
+        )
+    )
+    series = {k: [r[k] for r in rows] for k in keys}
+    print()
+    print(ascii_plot(series, x=n_values, title="Figure 5 analog (sim cycles/flop)"))
+
+    rel = lambda xs: (max(xs) - min(xs)) / min(xs)  # noqa: E731
+    print("\nrelative swing (max-min)/min per configuration:")
+    for k in keys:
+        print(f"  {k:12s}: {100 * rel(series[k]):6.1f}%")
+    print("\npaper's finding: standard/L_C swings; L_Z damps it; Strassen flat.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""repro: Recursive Array Layouts and Fast Parallel Matrix Multiplication.
+
+A from-scratch reproduction of Chatterjee, Lebeck, Patnala & Thottethodi
+(SPAA 1999).  Public API highlights:
+
+* :func:`repro.dgemm` / :func:`repro.matmul` — BLAS-3 compatible matrix
+  multiplication over any of the paper's six array layouts and three
+  recursive algorithms.
+* :mod:`repro.layouts` — the layout functions (L_C, L_R, L_U, L_X, L_Z,
+  L_G, L_H) with fast bit-level and FSM addressing.
+* :mod:`repro.memsim` — the trace-driven memory-hierarchy simulator used
+  to reproduce the paper's cache-behaviour experiments.
+* :mod:`repro.runtime` — the Cilk-style runtime model (work/span,
+  work-stealing simulation, thread execution).
+* :mod:`repro.analysis` — one driver per paper figure/table.
+"""
+
+from repro.algorithms import (
+    dgemm,
+    matmul,
+    standard_multiply,
+    strassen_multiply,
+    winograd_multiply,
+)
+from repro.layouts import TiledLayout, get_layout
+from repro.matrix import TileRange, TiledMatrix, from_tiled, to_tiled
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "dgemm",
+    "matmul",
+    "standard_multiply",
+    "strassen_multiply",
+    "winograd_multiply",
+    "TiledLayout",
+    "get_layout",
+    "TileRange",
+    "TiledMatrix",
+    "from_tiled",
+    "to_tiled",
+    "__version__",
+]

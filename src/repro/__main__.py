@@ -1,0 +1,317 @@
+"""Command-line experiment runner: ``python -m repro <experiment> [...]``.
+
+Each subcommand regenerates one paper figure/table at an adjustable
+scale and prints it (the benchmark suite runs the same drivers under
+pytest-benchmark; this entry point is for interactive exploration).
+
+Examples::
+
+    python -m repro fig1
+    python -m repro fig2 --order 3
+    python -m repro fig4 --n 256 --tiles 4 8 16 32 64
+    python -m repro fig5 --start 248 --stop 280 --step 4
+    python -m repro fig6 --n 200
+    python -m repro fig6sim --n 250
+    python -m repro fig7 --n 96
+    python -m repro critical --n 1024 --tile 32
+    python -m repro scaling --algorithm strassen --n 192
+    python -m repro sharing --n 61 100 129
+    python -m repro gemm --m 300 --k 200 --n 250 --algorithm hybrid
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis import (
+    ascii_plot,
+    conversion_accounting,
+    critical_path_table,
+    false_sharing_table,
+    fig1_locality,
+    fig2_layouts,
+    fig4_tile_size_sweep,
+    fig5_robustness,
+    fig6_layout_comparison,
+    fig6_simulated,
+    fig7_kernel_tiers,
+    format_table,
+    scaling_table,
+    slowdown_vs_native,
+)
+
+__all__ = ["main"]
+
+
+def _cmd_fig1(args) -> None:
+    rows = fig1_locality(args.n)
+    print(format_table(
+        ["algorithm", "input", "min", "mean", "max", "argmax", "diag mean"],
+        [[r["algorithm"], r["input"], r["min"], r["mean"], r["max"],
+          str(r["argmax"]), r["diag_mean"]] for r in rows],
+        f"Figure 1: locality footprints ({args.n}x{args.n})",
+    ))
+
+
+def _cmd_fig2(args) -> None:
+    from repro.layouts import render_order_grid
+
+    for name in ("LR", "LC", "LU", "LX", "LZ", "LG", "LH"):
+        print(f"--- {name} ---")
+        print(render_order_grid(name, args.order))
+        print()
+    rows = fig2_layouts(args.order)
+    print(format_table(
+        ["layout", "mean jump", "max jump", "unit fraction"],
+        [[r["layout"], r["mean"], r["max"], r["unit_fraction"]] for r in rows],
+        "Dilation statistics",
+    ))
+
+
+def _cmd_fig4(args) -> None:
+    rows = fig4_tile_size_sweep(n=args.n, tiles=args.tiles, repeats=args.repeats)
+    print(format_table(
+        ["tile", "seconds", "sim cycles/flop", "L1 miss rate"],
+        [[r["tile"], r["seconds"], r.get("sim_cycles_per_flop", "-"),
+          r.get("l1_miss_rate", "-")] for r in rows],
+        f"Figure 4: tile-size sweep (n={args.n})",
+    ))
+    out = slowdown_vs_native(n=args.n, tile=32, repeats=args.repeats)
+    print(f"\nslowdown vs native BLAS at t=32: {out['slowdown']:.2f}x")
+
+
+def _cmd_fig5(args) -> None:
+    n_values = list(range(args.start, args.stop + 1, args.step))
+    rows = fig5_robustness(n_values=n_values, tile=args.tile)
+    keys = ["standard_LC", "standard_LZ", "strassen_LC", "strassen_LZ"]
+    print(format_table(
+        ["n"] + keys, [[r["n"]] + [r[k] for k in keys] for r in rows],
+        "Figure 5: simulated memory cycles per flop",
+    ))
+    print()
+    print(ascii_plot({k: [r[k] for r in rows] for k in keys}, x=n_values))
+
+
+def _cmd_fig6(args) -> None:
+    rows = fig6_layout_comparison(n=args.n, repeats=args.repeats)
+    print(format_table(
+        ["algorithm", "layout", "p=1 (s)", "p=2 (s)", "p=4 (s)"],
+        [[r["algorithm"], r["layout"], r["p1_seconds"],
+          r.get("p2_seconds", "-"), r.get("p4_seconds", "-")] for r in rows],
+        f"Figure 6: wall-clock + simulated scaling (n={args.n})",
+    ))
+
+
+def _cmd_fig6sim(args) -> None:
+    rows = fig6_simulated(n=args.n, tile=args.tile)
+    print(format_table(
+        ["algorithm", "layout", "sim cycles/flop", "vs LC"],
+        [[r["algorithm"], r["layout"], r["sim_cycles_per_flop"], r["vs_LC"]]
+         for r in rows],
+        f"Figure 6 (simulated memory cost, n={args.n})",
+    ))
+
+
+def _cmd_fig7(args) -> None:
+    rows = fig7_kernel_tiers(n=args.n, repeats=args.repeats)
+    print(format_table(
+        ["kernel", "seconds", "factor vs blas"],
+        [[r["kernel"], r["seconds"], r["factor_vs_blas"]] for r in rows],
+        f"Figure 7: leaf-kernel tiers (n={args.n})",
+    ))
+
+
+def _cmd_critical(args) -> None:
+    rows = critical_path_table(n=args.n, tile=args.tile)
+    print(format_table(
+        ["algorithm", "work", "span", "parallelism", "speedup@4"],
+        [[r["algorithm"], r["work"], r["span"], r["parallelism"],
+          r["speedup_at_4"]] for r in rows],
+        f"Critical path (n={args.n}, t={args.tile})",
+    ))
+
+
+def _cmd_scaling(args) -> None:
+    rows = scaling_table(algorithm=args.algorithm, n=args.n,
+                         procs=tuple(args.procs))
+    print(format_table(
+        ["procs", "greedy speedup", "ws speedup", "utilization", "steals"],
+        [[r["procs"], r["greedy_speedup"], r["ws_speedup"], r["utilization"],
+          r["steals"]] for r in rows],
+        f"Work-stealing scaling: {args.algorithm}, n={args.n}",
+    ))
+
+
+def _cmd_sharing(args) -> None:
+    rows = false_sharing_table(n_values=tuple(args.n), tile=args.tile)
+    print(format_table(
+        ["n", "LC shared", "LC false", "LC invalidations", "LZ shared"],
+        [[r["n"], r["LC_shared_lines"], r["LC_false_shared"],
+          r["LC_invalidations"], r["LZ_shared_lines"]] for r in rows],
+        "False sharing under 4 processors",
+    ))
+
+
+def _cmd_conversion(args) -> None:
+    rows = conversion_accounting(n_values=tuple(args.n))
+    print(format_table(
+        ["n", "total (s)", "conversion (s)", "fraction"],
+        [[r["n"], r["total_seconds"], r["conversion_seconds"],
+          r["conversion_fraction"]] for r in rows],
+        "Conversion cost accounting",
+    ))
+
+
+def _cmd_verify(args) -> None:
+    from repro.analysis.verify import verify_against_numpy
+
+    rows = verify_against_numpy()
+    bad = [r for r in rows if not r["ok"]]
+    print(format_table(
+        ["algorithm", "layout", "shape", "max rel error", "ok"],
+        [[r["algorithm"], r["layout"], str(r["shape"]),
+          r["max_rel_error"], r["ok"]] for r in rows],
+        "Verification against numpy's native product",
+    ))
+    print(f"\n{len(rows) - len(bad)}/{len(rows)} configurations passed")
+    if bad:
+        raise SystemExit(1)
+
+
+def _cmd_accuracy(args) -> None:
+    from repro.analysis.accuracy import error_growth
+
+    rows = []
+    for workload in args.workloads:
+        rows.extend(
+            error_growth(n=args.n, tile=args.tile, workload=workload,
+                         fast=args.fast)
+        )
+    print(format_table(
+        ["workload", "fast levels", "rel error", "multiply flops"],
+        [[r["workload"], r["fast_levels"], r["rel_error"],
+          r["multiply_flops"]] for r in rows],
+        f"Accuracy vs fast-recursion depth ({args.fast}, n={args.n})",
+    ))
+
+
+def _cmd_gemm(args) -> None:
+    from repro import dgemm
+
+    rng = np.random.default_rng(args.seed)
+    a = rng.standard_normal((args.m, args.k))
+    b = rng.standard_normal((args.k, args.n))
+    r = dgemm(a, b, algorithm=args.algorithm, layout=args.layout)
+    err = float(np.abs(r.c - a @ b).max())
+    print(f"C = A({args.m}x{args.k}) . B({args.k}x{args.n})  "
+          f"[{args.algorithm} / {args.layout}]")
+    print(f"  max |err| vs numpy : {err:.3e}")
+    print(f"  total time         : {r.total_seconds * 1e3:.1f} ms "
+          f"({100 * r.conversion_fraction:.1f}% conversion)")
+    print(f"  tile grid          : 2^{r.tiling.d}, tiles "
+          f"{r.tiling.t_m}/{r.tiling.t_k}/{r.tiling.t_n}, padded {r.tiling.padded}")
+    print(f"  leaf multiplies    : {r.counters.leaf_multiplies} "
+          f"({r.counters.multiply_flops:,} flops)")
+    if not r.partition.is_trivial:
+        print(f"  partitioned        : p_m={r.partition.p_m} "
+              f"p_k={r.partition.p_k} p_n={r.partition.p_n}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    p = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate experiments from the SPAA'99 recursive-layout paper.",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    s = sub.add_parser("fig1", help="locality footprints (Figure 1)")
+    s.add_argument("--n", type=int, default=8)
+    s.set_defaults(fn=_cmd_fig1)
+
+    s = sub.add_parser("fig2", help="layout gallery (Figure 2)")
+    s.add_argument("--order", type=int, default=3)
+    s.set_defaults(fn=_cmd_fig2)
+
+    s = sub.add_parser("fig4", help="tile-size sweep (Figure 4)")
+    s.add_argument("--n", type=int, default=256)
+    s.add_argument("--tiles", type=int, nargs="+", default=None)
+    s.add_argument("--repeats", type=int, default=3)
+    s.set_defaults(fn=_cmd_fig4)
+
+    s = sub.add_parser("fig5", help="robustness scan (Figure 5)")
+    s.add_argument("--start", type=int, default=248)
+    s.add_argument("--stop", type=int, default=280)
+    s.add_argument("--step", type=int, default=4)
+    s.add_argument("--tile", type=int, default=16)
+    s.set_defaults(fn=_cmd_fig5)
+
+    s = sub.add_parser("fig6", help="layout comparison, wall-clock (Figure 6)")
+    s.add_argument("--n", type=int, default=200)
+    s.add_argument("--repeats", type=int, default=3)
+    s.set_defaults(fn=_cmd_fig6)
+
+    s = sub.add_parser("fig6sim", help="layout comparison, simulated memory")
+    s.add_argument("--n", type=int, default=250)
+    s.add_argument("--tile", type=int, default=16)
+    s.set_defaults(fn=_cmd_fig6sim)
+
+    s = sub.add_parser("fig7", help="kernel tiers (Figure 7)")
+    s.add_argument("--n", type=int, default=96)
+    s.add_argument("--repeats", type=int, default=2)
+    s.set_defaults(fn=_cmd_fig7)
+
+    s = sub.add_parser("critical", help="work/span table (E7)")
+    s.add_argument("--n", type=int, default=1024)
+    s.add_argument("--tile", type=int, default=32)
+    s.set_defaults(fn=_cmd_critical)
+
+    s = sub.add_parser("scaling", help="work-stealing scaling (E10)")
+    s.add_argument("--algorithm", default="standard")
+    s.add_argument("--n", type=int, default=192)
+    s.add_argument("--procs", type=int, nargs="+", default=[1, 2, 4, 8])
+    s.set_defaults(fn=_cmd_scaling)
+
+    s = sub.add_parser("sharing", help="false-sharing table (Section 3)")
+    s.add_argument("--n", type=int, nargs="+", default=[61, 64, 100, 129])
+    s.add_argument("--tile", type=int, default=8)
+    s.set_defaults(fn=_cmd_sharing)
+
+    s = sub.add_parser("conversion", help="conversion accounting (E9)")
+    s.add_argument("--n", type=int, nargs="+", default=[128, 256, 512])
+    s.set_defaults(fn=_cmd_conversion)
+
+    s = sub.add_parser("verify", help="verify all algorithm/layout combos vs numpy")
+    s.set_defaults(fn=_cmd_verify)
+
+    s = sub.add_parser("accuracy", help="error growth vs fast-recursion depth")
+    s.add_argument("--n", type=int, default=256)
+    s.add_argument("--tile", type=int, default=16)
+    s.add_argument("--fast", default="strassen")
+    s.add_argument("--workloads", nargs="+", default=["gaussian", "graded"])
+    s.set_defaults(fn=_cmd_accuracy)
+
+    s = sub.add_parser("gemm", help="run one dgemm and show its cost breakdown")
+    s.add_argument("--m", type=int, default=300)
+    s.add_argument("--k", type=int, default=200)
+    s.add_argument("--n", type=int, default=250)
+    s.add_argument("--algorithm", default="standard")
+    s.add_argument("--layout", default="LZ")
+    s.add_argument("--seed", type=int, default=0)
+    s.set_defaults(fn=_cmd_gemm)
+
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    args.fn(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

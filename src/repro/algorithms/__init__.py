@@ -1,0 +1,48 @@
+"""Core contribution: recursive matmul algorithms over recursive layouts."""
+
+from repro.algorithms.cholesky import (
+    cholesky,
+    cholesky_views,
+    trsm_right_lower_transposed,
+)
+from repro.algorithms.dgemm import ALGORITHMS, DgemmResult, dgemm, matmul
+from repro.algorithms.gemv import gemv, matvec
+from repro.algorithms.hybrid import default_fast_levels, hybrid_multiply
+from repro.algorithms.locality import (
+    FOOTPRINT_ALGORITHMS,
+    footprint_counts,
+    footprints,
+    render_footprint,
+)
+from repro.algorithms.opcount import OpCount, crossover_depth, op_count
+from repro.algorithms.recursion import Context
+from repro.algorithms.spacesaving import strassen_space_saving
+from repro.algorithms.standard import standard_multiply
+from repro.algorithms.strassen import strassen_multiply
+from repro.algorithms.winograd import winograd_multiply
+
+__all__ = [
+    "ALGORITHMS",
+    "DgemmResult",
+    "dgemm",
+    "matmul",
+    "FOOTPRINT_ALGORITHMS",
+    "footprint_counts",
+    "footprints",
+    "render_footprint",
+    "OpCount",
+    "crossover_depth",
+    "op_count",
+    "Context",
+    "cholesky",
+    "cholesky_views",
+    "trsm_right_lower_transposed",
+    "default_fast_levels",
+    "gemv",
+    "matvec",
+    "hybrid_multiply",
+    "standard_multiply",
+    "strassen_multiply",
+    "strassen_space_saving",
+    "winograd_multiply",
+]

@@ -1,0 +1,180 @@
+"""Algorithmic locality-of-reference analysis (paper Figure 1).
+
+Figure 1 of the paper shows, for 8x8 matrices, which elements of A and B
+are read to compute each element of ``C = A . B`` under each algorithm's
+recursion carried to element level.  The standard algorithm reads exactly
+row i of A and column j of B; Strassen and Winograd read strictly more
+(dramatically more along the main diagonal for Strassen, and at corner
+elements (0, n-1) / (n-1, 0) for Winograd) — the extra accesses are the
+price of the lower multiplication count.
+
+This module replays the three recursions over *matrices of read-sets*:
+an element of A is the singleton ``{("A", i, j)}``; additions union
+sets; a 1x1 product unions its two operands.  The result per C element
+is the exact set of input elements touched, from which the figure's dot
+diagrams and footprint statistics are regenerated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["footprints", "footprint_counts", "render_footprint", "FOOTPRINT_ALGORITHMS"]
+
+
+class _SetMatrix:
+    """Square matrix whose entries are frozensets of input coordinates."""
+
+    __slots__ = ("cells",)
+
+    def __init__(self, cells: list[list[frozenset]]):
+        self.cells = cells
+
+    @classmethod
+    def leaf_input(cls, name: str, n: int) -> "_SetMatrix":
+        return cls(
+            [[frozenset({(name, i, j)}) for j in range(n)] for i in range(n)]
+        )
+
+    @property
+    def n(self) -> int:
+        return len(self.cells)
+
+    def __add__(self, other: "_SetMatrix") -> "_SetMatrix":
+        return _SetMatrix(
+            [
+                [a | b for a, b in zip(ra, rb)]
+                for ra, rb in zip(self.cells, other.cells)
+            ]
+        )
+
+    __sub__ = __add__  # reads are sign-insensitive
+
+    def quadrants(self):
+        h = self.n // 2
+        cs = self.cells
+
+        def sub(r0, c0):
+            return _SetMatrix([[cs[r0 + i][c0 + j] for j in range(h)] for i in range(h)])
+
+        return sub(0, 0), sub(0, h), sub(h, 0), sub(h, h)
+
+    @staticmethod
+    def assemble(q11, q12, q21, q22) -> "_SetMatrix":
+        top = [ra + rb for ra, rb in zip(q11.cells, q12.cells)]
+        bot = [ra + rb for ra, rb in zip(q21.cells, q22.cells)]
+        return _SetMatrix(top + bot)
+
+
+def _mul_standard(a: _SetMatrix, b: _SetMatrix) -> _SetMatrix:
+    if a.n == 1:
+        return _SetMatrix([[a.cells[0][0] | b.cells[0][0]]])
+    a11, a12, a21, a22 = a.quadrants()
+    b11, b12, b21, b22 = b.quadrants()
+    m = _mul_standard
+    return _SetMatrix.assemble(
+        m(a11, b11) + m(a12, b21),
+        m(a11, b12) + m(a12, b22),
+        m(a21, b11) + m(a22, b21),
+        m(a21, b12) + m(a22, b22),
+    )
+
+
+def _mul_strassen(a: _SetMatrix, b: _SetMatrix) -> _SetMatrix:
+    if a.n == 1:
+        return _SetMatrix([[a.cells[0][0] | b.cells[0][0]]])
+    a11, a12, a21, a22 = a.quadrants()
+    b11, b12, b21, b22 = b.quadrants()
+    m = _mul_strassen
+    p1 = m(a11 + a22, b11 + b22)
+    p2 = m(a21 + a22, b11)
+    p3 = m(a11, b12 - b22)
+    p4 = m(a22, b21 - b11)
+    p5 = m(a11 + a12, b22)
+    p6 = m(a21 - a11, b11 + b12)
+    p7 = m(a12 - a22, b21 + b22)
+    return _SetMatrix.assemble(
+        p1 + p4 - p5 + p7,
+        p3 + p5,
+        p2 + p4,
+        p1 + p3 - p2 + p6,
+    )
+
+
+def _mul_winograd(a: _SetMatrix, b: _SetMatrix) -> _SetMatrix:
+    if a.n == 1:
+        return _SetMatrix([[a.cells[0][0] | b.cells[0][0]]])
+    a11, a12, a21, a22 = a.quadrants()
+    b11, b12, b21, b22 = b.quadrants()
+    m = _mul_winograd
+    s1 = a21 + a22
+    s2 = s1 - a11
+    s3 = a11 - a21
+    s4 = a12 - s2
+    t1 = b12 - b11
+    t2 = b22 - t1
+    t3 = b22 - b12
+    t4 = b21 - t2
+    p1 = m(a11, b11)
+    p2 = m(a12, b21)
+    p3 = m(s1, t1)
+    p4 = m(s2, t2)
+    p5 = m(s3, t3)
+    p6 = m(s4, b22)
+    p7 = m(a22, t4)
+    u2 = p1 + p4
+    u3 = u2 + p5
+    return _SetMatrix.assemble(
+        p1 + p2,  # C11 = U1
+        u2 + p3 + p6,  # C12 = U7 = U6 + P6
+        u3 + p7,  # C21 = U4
+        u3 + p3,  # C22 = U5
+    )
+
+
+FOOTPRINT_ALGORITHMS = {
+    "standard": _mul_standard,
+    "strassen": _mul_strassen,
+    "winograd": _mul_winograd,
+}
+
+
+def footprints(algorithm: str, n: int = 8) -> list[list[frozenset]]:
+    """Per-C-element read sets for an ``n x n`` product (n a power of 2)."""
+    if n & (n - 1) or n < 1:
+        raise ValueError(f"n must be a power of two, got {n}")
+    try:
+        mul = FOOTPRINT_ALGORITHMS[algorithm]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {algorithm!r}; known: {sorted(FOOTPRINT_ALGORITHMS)}"
+        ) from None
+    a = _SetMatrix.leaf_input("A", n)
+    b = _SetMatrix.leaf_input("B", n)
+    return mul(a, b).cells
+
+
+def footprint_counts(algorithm: str, n: int = 8) -> dict[str, np.ndarray]:
+    """Footprint sizes per C element, split by input matrix.
+
+    Returns ``{"A": counts, "B": counts}`` with ``counts[i, j]`` the
+    number of distinct elements of that input read to compute C[i, j] —
+    the summary statistic behind Figure 1's dot diagrams.
+    """
+    cells = footprints(algorithm, n)
+    out = {name: np.zeros((n, n), dtype=np.int64) for name in ("A", "B")}
+    for i, row in enumerate(cells):
+        for j, reads in enumerate(row):
+            for name, _, _ in reads:
+                out[name][i, j] += 1
+    return out
+
+
+def render_footprint(algorithm: str, i: int, j: int, which: str = "A", n: int = 8) -> str:
+    """ASCII dot diagram: the elements of ``which`` read for C[i, j]."""
+    cells = footprints(algorithm, n)
+    reads = {(r, c) for name, r, c in cells[i][j] if name == which}
+    lines = []
+    for r in range(n):
+        lines.append(" ".join("●" if (r, c) in reads else "·" for c in range(n)))
+    return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""Shared machinery for the recursive multiplication algorithms.
+
+Each algorithm is a recursion over the *view* protocol of
+:mod:`repro.matrix.tiledmatrix` (recursive-layout ``QuadView`` or
+canonical ``DenseView``), parameterized by a Cilk-style runtime
+(:mod:`repro.runtime.cilk`) and a leaf kernel
+(:mod:`repro.kernels.leaf`).  The helpers here implement the leaf case,
+orientation-corrected streamed additions with cost annotation, and the
+signed combinations used by the fast algorithms' post-additions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.kernels.leaf import get_kernel
+from repro.matrix.quadrant import add_views, iadd_views
+from repro.matrix.tiledmatrix import MatrixView
+from repro.runtime.cilk import Runtime, SerialRuntime
+
+__all__ = ["Context", "leaf_multiply", "stream_add", "combine"]
+
+
+class Context:
+    """Bundle of runtime + kernel threaded through a recursion.
+
+    ``record_leaf`` / ``record_stream`` are no-op hooks that the memory-
+    system tracer (:mod:`repro.memsim.trace`) overrides to harvest the
+    exact sequence of leaf operations and streamed additions, with their
+    operand views, without touching the algorithms.
+    """
+
+    __slots__ = ("rt", "kernel")
+
+    def __init__(self, rt: Runtime | None = None, kernel="blas"):
+        self.rt = rt or SerialRuntime()
+        self.kernel: Callable = get_kernel(kernel)
+
+    def record_leaf(self, c: MatrixView, a: MatrixView, b: MatrixView) -> None:
+        """Hook: a leaf multiply C += A.B just ran on these views."""
+
+    def record_stream(self, out: MatrixView, *operands: MatrixView) -> None:
+        """Hook: a streamed addition just wrote ``out`` reading ``operands``."""
+
+
+def leaf_multiply(ctx: Context, c: MatrixView, a: MatrixView, b: MatrixView,
+                  accumulate: bool) -> None:
+    """Bottom of the recursion: ``C (+)= A . B`` on single tiles."""
+    ca, aa, ba = c.leaf_array(), a.leaf_array(), b.leaf_array()
+    ctx.kernel(ca, aa, ba, accumulate)
+    ctx.rt.task_multiply(aa.shape[0], aa.shape[1], ba.shape[1])
+    ctx.record_leaf(c, a, b)
+
+
+def stream_add(ctx: Context, x: MatrixView, y: MatrixView, out: MatrixView,
+               subtract: bool = False) -> MatrixView:
+    """``out = x ± y`` with cost annotation."""
+    add_views(x, y, out, subtract=subtract)
+    ctx.rt.task_stream(out.rows * out.cols)
+    ctx.record_stream(out, x, y)
+    return out
+
+
+def combine(
+    ctx: Context,
+    c: MatrixView,
+    terms: Sequence[MatrixView],
+    signs: Sequence[int],
+    accumulate: bool,
+) -> None:
+    """``C (+)= sum(sign_i * term_i)`` as a chain of streamed passes.
+
+    The first pair is fused (``c = t0 ± t1``) when not accumulating,
+    matching how the paper streams post-additions through memory.
+    """
+    if len(terms) != len(signs) or not terms:
+        raise ValueError("terms and signs must be equal-length and non-empty")
+    if signs[0] != 1:
+        raise ValueError("first sign must be +1 (rewrite the combination)")
+    idx = 0
+    if not accumulate:
+        if len(terms) == 1:
+            from repro.matrix.quadrant import copy_view
+
+            copy_view(terms[0], c)
+            ctx.rt.task_stream(c.rows * c.cols)
+            ctx.record_stream(c, terms[0])
+            return
+        stream_add(ctx, terms[0], terms[1], c, subtract=(signs[1] < 0))
+        idx = 2
+    for t, s in zip(terms[idx:], signs[idx:]):
+        iadd_views(c, t, subtract=(s < 0))
+        ctx.rt.task_stream(c.rows * c.cols)
+        ctx.record_stream(c, c, t)

@@ -1,0 +1,96 @@
+"""Standard O(n^3) recursive matrix multiplication (paper Figure 1(a)).
+
+Two spawn structures are provided:
+
+* ``mode="accumulate"`` (default) — two phases of four parallel
+  recursive products each; the second phase accumulates into the same C
+  quadrants, so no temporaries are needed.  This is the memory-lean Cilk
+  idiom and the mode used for wall-clock measurements.
+
+* ``mode="temps"`` — the paper's Figure 1(a) literally: all eight
+  products spawned at once into quadrant-sized temporaries, followed by
+  four parallel post-additions.  More parallel slack, more memory; used
+  by the critical-path experiments.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.recursion import Context, combine, leaf_multiply
+from repro.matrix.tiledmatrix import MatrixView
+
+__all__ = ["standard_multiply"]
+
+
+def standard_multiply(
+    c: MatrixView,
+    a: MatrixView,
+    b: MatrixView,
+    ctx: Context | None = None,
+    accumulate: bool = True,
+    mode: str = "accumulate",
+) -> None:
+    """``C (+)= A . B`` by quadrant recursion with eight recursive products."""
+    ctx = ctx or Context()
+    if mode not in ("accumulate", "temps"):
+        raise ValueError(f"unknown mode {mode!r}")
+    _recurse(ctx, c, a, b, accumulate, mode)
+
+
+def _recurse(ctx: Context, c, a, b, accumulate: bool, mode: str) -> None:
+    if c.is_leaf:
+        leaf_multiply(ctx, c, a, b, accumulate)
+        return
+    c11, c12, c21, c22 = c.quadrants()
+    a11, a12, a21, a22 = a.quadrants()
+    b11, b12, b21, b22 = b.quadrants()
+
+    if mode == "accumulate":
+        rec = lambda cq, aq, bq, acc: (  # noqa: E731 - local shorthand
+            lambda: _recurse(ctx, cq, aq, bq, acc, mode)
+        )
+        # Phase 1: the four "first" products, possibly overwriting C.
+        ctx.rt.spawn_all(
+            [
+                rec(c11, a11, b11, accumulate),
+                rec(c12, a11, b12, accumulate),
+                rec(c21, a21, b11, accumulate),
+                rec(c22, a21, b12, accumulate),
+            ]
+        )
+        # Phase 2: the four "second" products always accumulate.
+        ctx.rt.spawn_all(
+            [
+                rec(c11, a12, b21, True),
+                rec(c12, a12, b22, True),
+                rec(c21, a22, b21, True),
+                rec(c22, a22, b22, True),
+            ]
+        )
+        return
+
+    # mode == "temps": eight parallel products into temporaries P1..P8
+    # (paper's formulation), then four parallel post-additions.
+    pairs = [
+        (a11, b11),  # P1
+        (a12, b21),  # P2
+        (a21, b11),  # P3
+        (a22, b21),  # P4
+        (a11, b12),  # P5
+        (a12, b22),  # P6
+        (a21, b12),  # P7
+        (a22, b22),  # P8
+    ]
+    temps = [c11.alloc_like() for _ in pairs]
+
+    def product(p, aq, bq):
+        return lambda: _recurse(ctx, p, aq, bq, False, mode)
+
+    ctx.rt.spawn_all([product(p, aq, bq) for p, (aq, bq) in zip(temps, pairs)])
+    p1, p2, p3, p4, p5, p6, p7, p8 = temps
+    post = [
+        lambda: combine(ctx, c11, [p1, p2], [1, 1], accumulate),
+        lambda: combine(ctx, c21, [p3, p4], [1, 1], accumulate),
+        lambda: combine(ctx, c12, [p5, p6], [1, 1], accumulate),
+        lambda: combine(ctx, c22, [p7, p8], [1, 1], accumulate),
+    ]
+    ctx.rt.spawn_all(post)

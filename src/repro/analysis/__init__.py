@@ -1,0 +1,47 @@
+"""Measurement, reporting, and per-figure experiment drivers."""
+
+from repro.analysis import workloads
+from repro.analysis.accuracy import WORKLOADS, error_growth, normwise_error
+from repro.analysis.verify import verify_against_numpy
+from repro.analysis.experiments import (
+    conversion_accounting,
+    critical_path_table,
+    false_sharing_table,
+    fig1_locality,
+    fig2_layouts,
+    fig4_tile_size_sweep,
+    fig5_robustness,
+    fig6_layout_comparison,
+    fig6_simulated,
+    fig7_kernel_tiers,
+    scaling_table,
+    simulated_speedups,
+    slowdown_vs_native,
+)
+from repro.analysis.report import ascii_plot, format_table
+from repro.analysis.timing import Measurement, measure
+
+__all__ = [
+    "workloads",
+    "WORKLOADS",
+    "error_growth",
+    "normwise_error",
+    "verify_against_numpy",
+    "conversion_accounting",
+    "critical_path_table",
+    "false_sharing_table",
+    "fig1_locality",
+    "fig2_layouts",
+    "fig4_tile_size_sweep",
+    "fig5_robustness",
+    "fig6_layout_comparison",
+    "fig6_simulated",
+    "fig7_kernel_tiers",
+    "scaling_table",
+    "simulated_speedups",
+    "slowdown_vs_native",
+    "ascii_plot",
+    "format_table",
+    "Measurement",
+    "measure",
+]

@@ -1,0 +1,94 @@
+"""Numerical-accuracy study of the fast algorithms.
+
+The paper explicitly sets numerics aside ("covered elsewhere", citing
+Higham).  A production library cannot: users choosing
+``algorithm="strassen"`` need to know the error they buy.  Higham's
+bounds say the standard algorithm satisfies a componentwise bound
+``|C - Ĉ| <= c(n) u |A||B|`` while Strassen-type recursions satisfy only
+a *normwise* bound that grows by a constant factor per recursion level
+(~4x for Strassen, slightly worse for Winograd).
+
+:func:`error_growth` measures exactly that: normwise relative error
+against an (effectively) exact float128/compensated reference, as a
+function of the number of fast recursion levels, for a chosen workload.
+The hybrid algorithm's ``fast_levels`` knob is the mitigation: each
+level removed cuts the error factor while giving back one 8/7 of the
+flops.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.algorithms.dgemm import dgemm
+from repro.analysis import workloads
+
+__all__ = ["normwise_error", "error_growth", "WORKLOADS"]
+
+#: Named workload factories: name -> (n -> (A, B)).
+WORKLOADS: dict[str, Callable[[int], tuple[np.ndarray, np.ndarray]]] = {
+    "gaussian": lambda n: (
+        workloads.gaussian(n, n, seed=1),
+        workloads.gaussian(n, n, seed=2),
+    ),
+    "graded": lambda n: (
+        workloads.graded(n, n, span=6.0, seed=1),
+        workloads.gaussian(n, n, seed=2),
+    ),
+    "hadamard": lambda n: (
+        workloads.hadamard_like(n, seed=1),
+        workloads.hadamard_like(n, seed=2),
+    ),
+}
+
+
+def _reference_product(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Higher-precision reference product (float128 where available)."""
+    if hasattr(np, "float128"):
+        return (a.astype(np.float128) @ b.astype(np.float128)).astype(np.float64)
+    return a @ b  # pragma: no cover - platforms without float128
+
+
+def normwise_error(c: np.ndarray, ref: np.ndarray) -> float:
+    """``||C - ref||_F / ||ref||_F``."""
+    denom = np.linalg.norm(ref)
+    return float(np.linalg.norm(c - ref) / denom) if denom else 0.0
+
+
+def error_growth(
+    n: int = 256,
+    tile: int = 16,
+    workload: str = "gaussian",
+    levels: Sequence[int] | None = None,
+    fast: str = "strassen",
+) -> list[dict]:
+    """Relative error vs. number of fast recursion levels.
+
+    Level 0 is the standard algorithm; the maximum level is the pure
+    fast algorithm.  Expect roughly geometric error growth per level
+    (Higham), amplified on the ``graded`` workload.
+    """
+    if workload not in WORKLOADS:
+        raise KeyError(f"unknown workload {workload!r}; known: {sorted(WORKLOADS)}")
+    a, b = WORKLOADS[workload](n)
+    ref = _reference_product(a, b)
+    side = n // tile
+    max_levels = max(side.bit_length() - 1, 0)
+    if levels is None:
+        levels = list(range(max_levels + 1))
+    rows = []
+    for lv in levels:
+        r = dgemm(a, b, algorithm="hybrid", fast=fast, fast_levels=lv, tile=tile)
+        rows.append(
+            {
+                "workload": workload,
+                "fast": fast,
+                "fast_levels": lv,
+                "n": n,
+                "rel_error": normwise_error(r.c, ref),
+                "multiply_flops": r.counters.multiply_flops,
+            }
+        )
+    return rows

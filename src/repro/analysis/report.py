@@ -1,0 +1,94 @@
+"""Plain-text reporting: aligned tables and ASCII line plots.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; these helpers keep that output readable in a terminal and in the
+captured ``bench_output.txt`` / ``EXPERIMENTS.md`` artifacts.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "ascii_plot"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Fixed-width table with right-aligned numeric columns."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for k, c in enumerate(row):
+            widths[k] = max(widths[k], len(c))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(v: object) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1e5 or abs(v) < 1e-3:
+            return f"{v:.3e}"
+        return f"{v:.4g}"
+    return str(v)
+
+
+def ascii_plot(
+    series: dict[str, Sequence[float]],
+    x: Sequence[object] | None = None,
+    height: int = 12,
+    width: int = 64,
+    title: str | None = None,
+) -> str:
+    """Multi-series ASCII line plot (one glyph per series).
+
+    Good enough to eyeball the *shape* of a figure — swings, flatness,
+    crossovers — which is what the reproduction compares against the
+    paper.
+    """
+    if not series:
+        return "(no data)"
+    glyphs = "*o+x#@%&"
+    all_vals = [v for vs in series.values() for v in vs if v == v]
+    if not all_vals:
+        return "(no data)"
+    lo, hi = min(all_vals), max(all_vals)
+    if hi == lo:
+        hi = lo + 1.0
+    n = max(len(vs) for vs in series.values())
+    cols = min(width, n)
+
+    def col_of(i: int) -> int:
+        return round(i * (cols - 1) / max(1, n - 1))
+
+    grid = [[" "] * cols for _ in range(height)]
+    for g, (name, vs) in zip(glyphs, series.items()):
+        for i, v in enumerate(vs):
+            if v != v:
+                continue
+            r = height - 1 - round((v - lo) / (hi - lo) * (height - 1))
+            grid[r][col_of(i)] = g
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{hi:.4g}".rjust(10))
+    for row in grid:
+        lines.append(" " * 10 + "|" + "".join(row))
+    lines.append(f"{lo:.4g}".rjust(10) + " +" + "-" * cols)
+    if x is not None and len(x) >= 2:
+        lines.append(" " * 11 + f"{x[0]} .. {x[-1]}")
+    legend = "   ".join(
+        f"{g}={name}" for g, name in zip(glyphs, series.keys())
+    )
+    lines.append(" " * 11 + legend)
+    return "\n".join(lines)

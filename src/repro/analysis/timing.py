@@ -1,0 +1,47 @@
+"""Robust wall-clock measurement helpers.
+
+The paper "took multiple measurements of every data point to further
+reduce measurement uncertainty"; we do the same: median of ``repeats``
+runs, with a warm-up call to populate caches and lazy allocations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import statistics
+import time
+from typing import Callable
+
+__all__ = ["Measurement", "measure"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Measurement:
+    """Median/min/max of repeated timings, in seconds."""
+
+    median: float
+    best: float
+    worst: float
+    repeats: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.median:.4f}s (min {self.best:.4f}, n={self.repeats})"
+
+
+def measure(fn: Callable[[], object], repeats: int = 3, warmup: int = 1) -> Measurement:
+    """Median-of-``repeats`` timing of ``fn`` after ``warmup`` calls."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    for _ in range(warmup):
+        fn()
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return Measurement(
+        median=statistics.median(times),
+        best=min(times),
+        worst=max(times),
+        repeats=repeats,
+    )

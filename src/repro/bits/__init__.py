@@ -1,0 +1,57 @@
+"""Bit-manipulation substrate: interleaving, Gray codes, Hilbert FSM."""
+
+from repro.bits.util import (
+    is_pow2,
+    next_pow2,
+    ilog2,
+    ceil_div,
+    bit_reverse,
+    mask,
+)
+from repro.bits.morton import (
+    interleave,
+    deinterleave,
+    interleave_scalar,
+    deinterleave_scalar,
+    spread,
+    compact,
+    spread_scalar,
+    compact_scalar,
+)
+from repro.bits.gray import (
+    gray_encode,
+    gray_decode,
+    gray_encode_scalar,
+    gray_decode_scalar,
+)
+from repro.bits.hilbert import (
+    hilbert_s,
+    hilbert_s_inv,
+    hilbert_s_scalar,
+    hilbert_s_inv_scalar,
+)
+
+__all__ = [
+    "is_pow2",
+    "next_pow2",
+    "ilog2",
+    "ceil_div",
+    "bit_reverse",
+    "mask",
+    "interleave",
+    "deinterleave",
+    "interleave_scalar",
+    "deinterleave_scalar",
+    "spread",
+    "compact",
+    "spread_scalar",
+    "compact_scalar",
+    "gray_encode",
+    "gray_decode",
+    "gray_encode_scalar",
+    "gray_decode_scalar",
+    "hilbert_s",
+    "hilbert_s_inv",
+    "hilbert_s_scalar",
+    "hilbert_s_inv_scalar",
+]

@@ -1,0 +1,59 @@
+"""Gray-code encode/decode (the paper's ``G`` and ``G^{-1}``).
+
+The Gray-Morton layout (Section 3.2 of the paper) is defined as
+``S(i, j) = G^{-1}(G(i) ⋈ G(j))``.  Both directions are provided for
+Python ints and, vectorized, for numpy uint64 arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "gray_encode_scalar",
+    "gray_decode_scalar",
+    "gray_encode",
+    "gray_decode",
+]
+
+
+def gray_encode_scalar(x: int) -> int:
+    """Reflected binary Gray code of a non-negative int: ``G(x) = x ^ (x >> 1)``."""
+    if x < 0:
+        raise ValueError(f"gray_encode_scalar requires x >= 0, got {x}")
+    return x ^ (x >> 1)
+
+
+def gray_decode_scalar(g: int) -> int:
+    """Inverse Gray code by prefix-XOR folding (O(log log) word steps)."""
+    if g < 0:
+        raise ValueError(f"gray_decode_scalar requires g >= 0, got {g}")
+    g = int(g)
+    shift = 1
+    while (g >> shift) != 0:
+        g ^= g >> shift
+        shift <<= 1
+    return g
+
+
+def _as_u64(x) -> np.ndarray:
+    a = np.asarray(x)
+    if a.dtype.kind not in "iu":
+        raise TypeError(f"integer array required, got dtype {a.dtype}")
+    if a.dtype.kind == "i" and a.size and int(a.min()) < 0:
+        raise ValueError("negative values have no Gray encoding here")
+    return a.astype(np.uint64)
+
+
+def gray_encode(x) -> np.ndarray:
+    """Vectorized ``G(x)`` on uint64 arrays."""
+    x = _as_u64(x)
+    return x ^ (x >> np.uint64(1))
+
+
+def gray_decode(g) -> np.ndarray:
+    """Vectorized ``G^{-1}(g)`` by prefix-XOR folding on uint64 arrays."""
+    g = _as_u64(g).copy()
+    for shift in (1, 2, 4, 8, 16, 32):
+        g ^= g >> np.uint64(shift)
+    return g

@@ -1,0 +1,190 @@
+"""Hilbert curve index computation via a Bially-style finite state machine.
+
+Section 3.3 of the paper computes the Hilbert ``S`` function by "driving a
+finite state machine with pairs of bits from i and j, delivering two bits
+of S(i, j) at each step" (Bially's construction).  This module builds that
+FSM once, at import time, by closing the set of square symmetries reachable
+from the identity under the Hilbert recursion, and exposes:
+
+* ``HILBERT_RANK[state, bi, bj]``  — the 2-bit output digit,
+* ``HILBERT_CHILD[state, bi, bj]`` — the successor state,
+* ``HILBERT_INV[state, digit]``    — inverse: digit -> (bi, bj),
+* ``HILBERT_INV_CHILD[state, digit]`` — successor state along the inverse,
+
+plus scalar (``hilbert_s_scalar`` / ``hilbert_s_inv_scalar``) and
+vectorized (``hilbert_s`` / ``hilbert_s_inv``) drivers.
+
+Coordinates are ``(i, j) = (row, column)``; the curve satisfies the
+paper's convention ``S(0, 0) = 0``.  Exactly four states (orientations)
+are reachable, matching the paper's classification of the Hilbert layout
+as the four-orientation member of its layout family.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "N_STATES",
+    "HILBERT_RANK",
+    "HILBERT_CHILD",
+    "HILBERT_INV",
+    "HILBERT_INV_CHILD",
+    "hilbert_s_scalar",
+    "hilbert_s_inv_scalar",
+    "hilbert_s",
+    "hilbert_s_inv",
+]
+
+_POINTS = ((0, 0), (0, 1), (1, 0), (1, 1))
+
+
+def _compose(g, f):
+    """Composition g∘f of two transforms given as point-maps over the unit square."""
+    return tuple(g[_POINTS.index(f[k])] for k in range(4))
+
+
+def _identity():
+    return _POINTS
+
+
+def _swap():
+    # (x, y) -> (y, x)
+    return tuple((y, x) for (x, y) in _POINTS)
+
+
+def _antiswap():
+    # (x, y) -> (1 - y, 1 - x)
+    return tuple((1 - y, 1 - x) for (x, y) in _POINTS)
+
+
+def _apply(t, x, y):
+    return t[_POINTS.index((x, y))]
+
+
+def _invert(t):
+    inv = [None] * 4
+    for k, p in enumerate(_POINTS):
+        inv[_POINTS.index(t[k])] = p
+    return tuple(inv)
+
+
+def _digit(rx: int, ry: int) -> int:
+    # Hilbert base cell order: (0,0)->0, (0,1)->1, (1,1)->2, (1,0)->3 in (x,y).
+    return (3 * rx) ^ ry
+
+
+def _step_rotation(rx: int, ry: int):
+    """Symmetry applied to the remaining suffix after consuming (rx, ry)."""
+    if ry == 0:
+        return _antiswap() if rx == 1 else _swap()
+    return _identity()
+
+
+def _build_fsm():
+    states = [_identity()]
+    index = {_identity(): 0}
+    rank_rows, child_rows = [], []
+    w = 0
+    while w < len(states):
+        t = states[w]
+        rank = np.zeros((2, 2), dtype=np.int64)
+        child = np.zeros((2, 2), dtype=np.int64)
+        for bx in (0, 1):
+            for by in (0, 1):
+                rx, ry = _apply(t, bx, by)
+                rank[bx, by] = _digit(rx, ry)
+                nxt = _compose(_step_rotation(rx, ry), t)
+                if nxt not in index:
+                    index[nxt] = len(states)
+                    states.append(nxt)
+                child[bx, by] = index[nxt]
+        rank_rows.append(rank)
+        child_rows.append(child)
+        w += 1
+    n = len(states)
+    # Note: rank/child are indexed [state, bx, by] where bx is the *column*
+    # bit and by the *row* bit, matching the Wikipedia (x, y) convention.
+    rank_t = np.stack(rank_rows)
+    child_t = np.stack(child_rows)
+    inv = np.zeros((n, 4, 2), dtype=np.int64)
+    inv_child = np.zeros((n, 4), dtype=np.int64)
+    for s, t in enumerate(states):
+        tinv = _invert(t)
+        for d in range(4):
+            rx, ry = [(0, 0), (0, 1), (1, 1), (1, 0)][d]
+            bx, by = _apply(tinv, rx, ry)
+            inv[s, d] = (bx, by)
+            inv_child[s, d] = index[_compose(_step_rotation(rx, ry), t)]
+    return n, rank_t, child_t, inv, inv_child
+
+
+N_STATES, HILBERT_RANK, HILBERT_CHILD, HILBERT_INV, HILBERT_INV_CHILD = _build_fsm()
+
+
+def hilbert_s_scalar(i: int, j: int, order: int) -> int:
+    """Hilbert index of (row i, col j) on a 2^order x 2^order grid."""
+    if order < 0:
+        raise ValueError(f"order must be >= 0, got {order}")
+    side = 1 << order
+    if not (0 <= i < side and 0 <= j < side):
+        raise ValueError(f"({i}, {j}) outside 2^{order} grid")
+    s = 0
+    state = 0
+    for k in range(order - 1, -1, -1):
+        by = (i >> k) & 1  # row bit
+        bx = (j >> k) & 1  # column bit
+        s = (s << 2) | int(HILBERT_RANK[state, bx, by])
+        state = int(HILBERT_CHILD[state, bx, by])
+    return s
+
+
+def hilbert_s_inv_scalar(s: int, order: int) -> tuple[int, int]:
+    """Inverse of :func:`hilbert_s_scalar`; returns ``(i, j)``."""
+    if order < 0:
+        raise ValueError(f"order must be >= 0, got {order}")
+    if not (0 <= s < 1 << (2 * order)):
+        raise ValueError(f"index {s} outside curve of order {order}")
+    i = j = 0
+    state = 0
+    for k in range(order - 1, -1, -1):
+        d = (s >> (2 * k)) & 3
+        bx, by = HILBERT_INV[state, d]
+        i = (i << 1) | int(by)
+        j = (j << 1) | int(bx)
+        state = int(HILBERT_INV_CHILD[state, d])
+    return i, j
+
+
+def hilbert_s(i, j, order: int) -> np.ndarray:
+    """Vectorized Hilbert index: uint64 arrays of rows/cols -> indices."""
+    i = np.asarray(i, dtype=np.uint64)
+    j = np.asarray(j, dtype=np.uint64)
+    i, j = np.broadcast_arrays(i, j)
+    s = np.zeros(i.shape, dtype=np.uint64)
+    state = np.zeros(i.shape, dtype=np.int64)
+    rank = HILBERT_RANK.reshape(N_STATES, 4)
+    child = HILBERT_CHILD.reshape(N_STATES, 4)
+    for k in range(order - 1, -1, -1):
+        by = ((i >> np.uint64(k)) & np.uint64(1)).astype(np.int64)
+        bx = ((j >> np.uint64(k)) & np.uint64(1)).astype(np.int64)
+        cell = 2 * bx + by
+        s = (s << np.uint64(2)) | rank[state, cell].astype(np.uint64)
+        state = child[state, cell]
+    return s
+
+
+def hilbert_s_inv(s, order: int) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized inverse Hilbert index; returns ``(i, j)`` uint64 arrays."""
+    s = np.asarray(s, dtype=np.uint64)
+    i = np.zeros(s.shape, dtype=np.uint64)
+    j = np.zeros(s.shape, dtype=np.uint64)
+    state = np.zeros(s.shape, dtype=np.int64)
+    for k in range(order - 1, -1, -1):
+        d = ((s >> np.uint64(2 * k)) & np.uint64(3)).astype(np.int64)
+        bx = HILBERT_INV[state, d, 0].astype(np.uint64)
+        by = HILBERT_INV[state, d, 1].astype(np.uint64)
+        i = (i << np.uint64(1)) | by
+        j = (j << np.uint64(1)) | bx
+        state = HILBERT_INV_CHILD[state, d]
+    return i, j

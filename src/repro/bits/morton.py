@@ -1,0 +1,119 @@
+"""Bit interleaving (the paper's ``u ⋈ v`` operator) and its inverse.
+
+The SPAA'99 paper defines, for bit strings ``u = u_{d-1}..u_0`` and
+``v = v_{d-1}..v_0``, the interleave ``u ⋈ v = u_{d-1} v_{d-1} .. u_0 v_0``;
+the bits of the *first* operand land in the odd (more significant)
+positions of each output pair.
+
+Two implementation strategies are provided:
+
+* ``interleave_scalar`` / ``deinterleave_scalar`` — loop-free magic-number
+  bit spreading on Python ints, good to 32-bit operands (64-bit result).
+* ``interleave`` / ``deinterleave`` — the same magic-number sequence on
+  numpy ``uint64`` arrays, fully vectorized.
+
+These are the workhorses behind the U-, X-, Z- and Gray-Morton layout
+functions (:mod:`repro.layouts.morton`, :mod:`repro.layouts.graymorton`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "spread_scalar",
+    "compact_scalar",
+    "interleave_scalar",
+    "deinterleave_scalar",
+    "spread",
+    "compact",
+    "interleave",
+    "deinterleave",
+]
+
+# Magic masks for spreading 32 bits across 64 (insert one zero bit between
+# each pair of consecutive bits).  Standard Morton-code constants.
+_M0 = 0x0000_0000_FFFF_FFFF
+_M1 = 0x0000_FFFF_0000_FFFF
+_M2 = 0x00FF_00FF_00FF_00FF
+_M3 = 0x0F0F_0F0F_0F0F_0F0F
+_M4 = 0x3333_3333_3333_3333
+_M5 = 0x5555_5555_5555_5555
+
+_MAX_OPERAND = (1 << 32) - 1
+
+
+def spread_scalar(x: int) -> int:
+    """Spread the low 32 bits of ``x`` into the even positions of a 64-bit int."""
+    if x < 0 or x > _MAX_OPERAND:
+        raise ValueError(f"spread_scalar operand out of range [0, 2^32): {x}")
+    x &= _M0
+    x = (x | (x << 16)) & _M1
+    x = (x | (x << 8)) & _M2
+    x = (x | (x << 4)) & _M3
+    x = (x | (x << 2)) & _M4
+    x = (x | (x << 1)) & _M5
+    return x
+
+
+def compact_scalar(x: int) -> int:
+    """Inverse of :func:`spread_scalar`: gather even-position bits of ``x``."""
+    x &= _M5
+    x = (x | (x >> 1)) & _M4
+    x = (x | (x >> 2)) & _M3
+    x = (x | (x >> 4)) & _M2
+    x = (x | (x >> 8)) & _M1
+    x = (x | (x >> 16)) & _M0
+    return x
+
+
+def interleave_scalar(u: int, v: int) -> int:
+    """``u ⋈ v``: bits of ``u`` in odd positions, bits of ``v`` in even."""
+    return (spread_scalar(u) << 1) | spread_scalar(v)
+
+
+def deinterleave_scalar(w: int) -> tuple[int, int]:
+    """Inverse of :func:`interleave_scalar`; returns ``(u, v)``."""
+    return compact_scalar(w >> 1), compact_scalar(w)
+
+
+def _as_u64(x) -> np.ndarray:
+    a = np.asarray(x)
+    if a.dtype.kind not in "iu":
+        raise TypeError(f"integer array required, got dtype {a.dtype}")
+    if a.dtype.kind == "i" and a.size and int(a.min()) < 0:
+        raise ValueError("negative values not representable in a Morton code")
+    return a.astype(np.uint64)
+
+
+def spread(x) -> np.ndarray:
+    """Vectorized :func:`spread_scalar` on uint64 arrays."""
+    x = _as_u64(x) & np.uint64(_M0)
+    x = (x | (x << np.uint64(16))) & np.uint64(_M1)
+    x = (x | (x << np.uint64(8))) & np.uint64(_M2)
+    x = (x | (x << np.uint64(4))) & np.uint64(_M3)
+    x = (x | (x << np.uint64(2))) & np.uint64(_M4)
+    x = (x | (x << np.uint64(1))) & np.uint64(_M5)
+    return x
+
+
+def compact(x) -> np.ndarray:
+    """Vectorized :func:`compact_scalar` on uint64 arrays."""
+    x = _as_u64(x) & np.uint64(_M5)
+    x = (x | (x >> np.uint64(1))) & np.uint64(_M4)
+    x = (x | (x >> np.uint64(2))) & np.uint64(_M3)
+    x = (x | (x >> np.uint64(4))) & np.uint64(_M2)
+    x = (x | (x >> np.uint64(8))) & np.uint64(_M1)
+    x = (x | (x >> np.uint64(16))) & np.uint64(_M0)
+    return x
+
+
+def interleave(u, v) -> np.ndarray:
+    """Vectorized ``u ⋈ v`` (first operand in the odd/high positions)."""
+    return (spread(u) << np.uint64(1)) | spread(v)
+
+
+def deinterleave(w) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized inverse of :func:`interleave`; returns ``(u, v)``."""
+    w = _as_u64(w)
+    return compact(w >> np.uint64(1)), compact(w)

@@ -1,0 +1,68 @@
+"""Small bit-manipulation helpers shared by the layout engines.
+
+All functions accept either Python ints or numpy integer arrays; array
+inputs produce array outputs (vectorized, no Python-level loops over
+elements).  The layout code in :mod:`repro.layouts` is built on these.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "is_pow2",
+    "next_pow2",
+    "ilog2",
+    "ceil_div",
+    "bit_reverse",
+    "mask",
+]
+
+
+def is_pow2(x: int) -> bool:
+    """Return True if ``x`` is a positive power of two."""
+    return x > 0 and (x & (x - 1)) == 0
+
+
+def next_pow2(x: int) -> int:
+    """Smallest power of two >= ``x`` (``x`` >= 1)."""
+    if x < 1:
+        raise ValueError(f"next_pow2 requires x >= 1, got {x}")
+    return 1 << (int(x) - 1).bit_length()
+
+
+def ilog2(x: int) -> int:
+    """Exact integer log2 of a power of two."""
+    if not is_pow2(x):
+        raise ValueError(f"ilog2 requires a power of two, got {x}")
+    return int(x).bit_length() - 1
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling division for non-negative integers."""
+    if b <= 0:
+        raise ValueError(f"ceil_div requires b > 0, got {b}")
+    return -(-a // b)
+
+
+def mask(nbits: int) -> int:
+    """Bit mask with the low ``nbits`` bits set."""
+    if nbits < 0:
+        raise ValueError(f"mask requires nbits >= 0, got {nbits}")
+    return (1 << nbits) - 1
+
+
+def bit_reverse(x, nbits: int):
+    """Reverse the low ``nbits`` bits of ``x`` (int or uint64 ndarray)."""
+    if nbits < 0 or nbits > 63:
+        raise ValueError(f"bit_reverse supports 0 <= nbits <= 63, got {nbits}")
+    if isinstance(x, np.ndarray):
+        x = x.astype(np.uint64)
+        out = np.zeros_like(x)
+        for k in range(nbits):
+            out |= ((x >> np.uint64(k)) & np.uint64(1)) << np.uint64(nbits - 1 - k)
+        return out
+    out = 0
+    for k in range(nbits):
+        out |= ((int(x) >> k) & 1) << (nbits - 1 - k)
+    return out

@@ -1,0 +1,19 @@
+"""Leaf computation kernels and instrumentation."""
+
+from repro.kernels import instrument
+from repro.kernels.leaf import (
+    KERNELS,
+    get_kernel,
+    leaf_blas,
+    leaf_sixloop,
+    leaf_unrolled,
+)
+
+__all__ = [
+    "instrument",
+    "KERNELS",
+    "get_kernel",
+    "leaf_blas",
+    "leaf_sixloop",
+    "leaf_unrolled",
+]

@@ -1,0 +1,110 @@
+"""Leaf-level tile multiplication kernels.
+
+The recursion bottoms out on ``t_r x t_c`` column-major tiles that are
+contiguous in memory; the actual floating-point work happens here.  Three
+kernel tiers mirror the paper's Figure 7 comparison of innermost-kernel
+quality (native dgemm vs. their C kernel under two compilers):
+
+* ``blas``      — numpy ``matmul`` (delegates to the BLAS numpy links);
+                  the "native dgemm" tier.
+* ``sixloop``   — the paper's 6-loop tiled kernel expressed with one
+                  vectorized rank-1 update per k step; the "our C code
+                  under the good compiler" tier.
+* ``unrolled``  — pure-Python triple loop with the paper's 4-way unrolled
+                  innermost accumulation; the "bad compiler" tier.  Orders
+                  of magnitude slower — only used at small sizes by the
+                  Figure 7 analog benchmark.
+
+All kernels compute ``C (+)= A @ B`` on 2-D arrays (possibly strided,
+for the canonical-layout baseline): ``accumulate=True`` adds into C
+(dgemm beta=1), ``accumulate=False`` overwrites it (beta=0, no read of
+C) — the distinction matters for the paper's operation counts, since
+fresh product temporaries are written, never read-modify-written.
+Flops are reported to the instrumentation counters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels import instrument
+
+__all__ = ["leaf_blas", "leaf_sixloop", "leaf_unrolled", "get_kernel", "KERNELS"]
+
+
+def leaf_blas(c: np.ndarray, a: np.ndarray, b: np.ndarray,
+              accumulate: bool = True) -> None:
+    """``C (+)= A @ B`` via the platform BLAS (numpy matmul)."""
+    instrument.count_leaf_multiply(a.shape[0], a.shape[1], b.shape[1])
+    if accumulate:
+        c += a @ b
+    else:
+        np.matmul(a, b, out=c)
+
+
+def leaf_sixloop(c: np.ndarray, a: np.ndarray, b: np.ndarray,
+                 accumulate: bool = True) -> None:
+    """``C (+)= A @ B`` as k rank-1 updates (vectorized 6-loop analog).
+
+    Mirrors the paper's hand-written kernel: streams columns of A against
+    rows of B, accumulating into C, one k-slice at a time.
+    """
+    instrument.count_leaf_multiply(a.shape[0], a.shape[1], b.shape[1])
+    if not accumulate:
+        c[...] = 0.0
+    for kk in range(a.shape[1]):
+        c += np.multiply.outer(a[:, kk], b[kk, :])
+
+
+def leaf_unrolled(c: np.ndarray, a: np.ndarray, b: np.ndarray,
+                  accumulate: bool = True) -> None:
+    """``C (+)= A @ B`` in pure Python, innermost loop unrolled 4-way.
+
+    A deliberate replica of the paper's C leaf routine ("innermost
+    accumulation loop unrolled four-way") at interpreter speed; exists to
+    quantify kernel-tier cost factors, not for production use.
+    """
+    m, k = a.shape
+    n = b.shape[1]
+    instrument.count_leaf_multiply(m, k, n)
+    k4 = k - (k % 4)
+    al = a.tolist()
+    bl = b.tolist()
+    cl = c.tolist()
+    for i in range(m):
+        ai = al[i]
+        ci = cl[i]
+        for j in range(n):
+            acc = ci[j] if accumulate else 0.0
+            kk = 0
+            while kk < k4:
+                acc += (
+                    ai[kk] * bl[kk][j]
+                    + ai[kk + 1] * bl[kk + 1][j]
+                    + ai[kk + 2] * bl[kk + 2][j]
+                    + ai[kk + 3] * bl[kk + 3][j]
+                )
+                kk += 4
+            while kk < k:
+                acc += ai[kk] * bl[kk][j]
+                kk += 1
+            ci[j] = acc
+    c[...] = cl
+
+
+#: Registry of kernel tiers by name.
+KERNELS = {
+    "blas": leaf_blas,
+    "sixloop": leaf_sixloop,
+    "unrolled": leaf_unrolled,
+}
+
+
+def get_kernel(name):
+    """Resolve a kernel by name, or pass a callable through."""
+    if callable(name):
+        return name
+    try:
+        return KERNELS[name]
+    except KeyError:
+        raise KeyError(f"unknown kernel {name!r}; known: {sorted(KERNELS)}") from None

@@ -1,0 +1,46 @@
+"""Layout-function substrate: the paper's six layouts + tiled composition."""
+
+from repro.layouts.base import Layout, RecursiveLayout, orientation_permutation
+from repro.layouts.canonical import ColMajor, RowMajor
+from repro.layouts.graymorton import GrayMorton
+from repro.layouts.hilbert import Hilbert
+from repro.layouts.morton import UMorton, XMorton, ZMorton
+from repro.layouts.registry import (
+    LAYOUTS,
+    PAPER_LAYOUTS,
+    RECURSIVE_LAYOUTS,
+    get_layout,
+    get_recursive_layout,
+    layout_names,
+)
+from repro.layouts.tiled import TiledLayout
+from repro.layouts.curves import (
+    curve_points,
+    dilation_profile,
+    jump_lengths,
+    render_order_grid,
+)
+
+__all__ = [
+    "Layout",
+    "RecursiveLayout",
+    "orientation_permutation",
+    "ColMajor",
+    "RowMajor",
+    "GrayMorton",
+    "Hilbert",
+    "UMorton",
+    "XMorton",
+    "ZMorton",
+    "LAYOUTS",
+    "PAPER_LAYOUTS",
+    "RECURSIVE_LAYOUTS",
+    "get_layout",
+    "get_recursive_layout",
+    "layout_names",
+    "TiledLayout",
+    "curve_points",
+    "dilation_profile",
+    "jump_lengths",
+    "render_order_grid",
+]

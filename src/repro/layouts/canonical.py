@@ -1,0 +1,55 @@
+"""Canonical (row-major / column-major) layout functions.
+
+These are the paper's ``L_R`` and ``L_C`` (Section 3, Figure 2(a)-(b)).
+As *tile-grid* orderings they are not recursive — they favour one axis and
+exhibit the dilation effect the paper describes — but they slot into the
+same :class:`~repro.layouts.base.Layout` interface so that the experiment
+drivers can sweep all six layouts uniformly.
+
+When a whole matrix (rather than a tile grid) is stored canonically, use
+the plain 2-D numpy array path in :mod:`repro.matrix` — that is the
+honest ``L_C`` baseline of the paper's measurements, with non-contiguous,
+strided quadrants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.layouts.base import Layout
+
+__all__ = ["RowMajor", "ColMajor"]
+
+
+class RowMajor(Layout):
+    """``L_R(i, j; m, n) = n*i + j`` restricted to a square power-of-two grid."""
+
+    name = "LR"
+    n_orientations = 1
+    is_recursive = False
+
+    def s(self, i, j, order: int) -> np.ndarray:
+        i = np.asarray(i, dtype=np.uint64)
+        j = np.asarray(j, dtype=np.uint64)
+        return (i << np.uint64(order)) + j
+
+    def s_inv(self, s, order: int):
+        s = np.asarray(s, dtype=np.uint64)
+        return s >> np.uint64(order), s & np.uint64((1 << order) - 1)
+
+
+class ColMajor(Layout):
+    """``L_C(i, j; m, n) = m*j + i`` restricted to a square power-of-two grid."""
+
+    name = "LC"
+    n_orientations = 1
+    is_recursive = False
+
+    def s(self, i, j, order: int) -> np.ndarray:
+        i = np.asarray(i, dtype=np.uint64)
+        j = np.asarray(j, dtype=np.uint64)
+        return (j << np.uint64(order)) + i
+
+    def s_inv(self, s, order: int):
+        s = np.asarray(s, dtype=np.uint64)
+        return s & np.uint64((1 << order) - 1), s >> np.uint64(order)

@@ -1,0 +1,66 @@
+"""Curve enumeration and rendering helpers (paper Figure 2).
+
+Figure 2 of the paper draws each layout function as the path the
+ordering takes through an 8x8 grid of tiles.  These helpers regenerate
+that data: the visiting sequence, jump-length statistics (the "dilation"
+the paper discusses in Section 3.4), and a compact ASCII rendering used
+by ``examples/layout_gallery.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.layouts.base import Layout
+from repro.layouts.registry import get_layout
+
+__all__ = ["curve_points", "jump_lengths", "dilation_profile", "render_order_grid"]
+
+
+def curve_points(layout: str | Layout, order: int, orientation: int = 0) -> np.ndarray:
+    """(4^order, 2) array of (i, j) visited along the layout's ordering."""
+    layout = get_layout(layout)
+    if orientation == 0 or not layout.is_recursive:
+        return layout.sequence(order)
+    grid = layout.tile_order(order, orientation)
+    side = 1 << order
+    out = np.empty((side * side, 2), dtype=np.int64)
+    flat = grid.ravel()
+    out[flat, 0] = np.repeat(np.arange(side), side)
+    out[flat, 1] = np.tile(np.arange(side), side)
+    return out
+
+
+def jump_lengths(layout: str | Layout, order: int) -> np.ndarray:
+    """Euclidean distances between successive tiles along the ordering.
+
+    Canonical layouts jump by ~side once per row/column (single-scale
+    dilation); recursive layouts jump at multiple scales; Hilbert never
+    jumps (every step has length 1).
+    """
+    pts = curve_points(layout, order)
+    d = np.diff(pts, axis=0)
+    return np.hypot(d[:, 0], d[:, 1])
+
+
+def dilation_profile(layout: str | Layout, order: int) -> dict[str, float]:
+    """Summary statistics of the jump lengths for a layout at a given order."""
+    j = jump_lengths(layout, order)
+    return {
+        "mean": float(j.mean()),
+        "max": float(j.max()),
+        "unit_fraction": float((j <= 1.0 + 1e-12).mean()),
+    }
+
+
+def render_order_grid(layout: str | Layout, order: int, orientation: int = 0) -> str:
+    """ASCII table of tile ranks — the numeric content of Figure 2."""
+    layout = get_layout(layout)
+    grid = (
+        layout.tile_order(order, orientation)
+        if layout.is_recursive
+        else layout.tile_order(order)
+    )
+    width = len(str(grid.max()))
+    lines = [" ".join(f"{v:>{width}d}" for v in row) for row in grid]
+    return "\n".join(lines)

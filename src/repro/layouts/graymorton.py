@@ -1,0 +1,65 @@
+"""Gray-Morton layout ``L_G`` (Section 3.2 of the paper).
+
+Closed form: ``S(i, j) = G^{-1}(G(i) ⋈ G(j))`` where ``G`` is the
+reflected binary Gray code.
+
+Deriving the quadrant FSM from the formula (one bit-level at a time, with
+``P`` the parity of all more-significant bits of the interleaved Gray
+string and ``pi``/``pj`` the next-higher bits of ``i``/``j``): the output
+pair at a level is ``(P^pi^bi, P^pi^bi^pj^bj)``, and the state collapses
+to ``(a, b) = (P^pi, pj)``, of which only ``(0,0)`` and ``(1,1)`` are
+reachable — exactly the paper's **two orientations**:
+
+* orientation 0: rank (0,0)->0 (0,1)->1 (1,1)->2 (1,0)->3  (C-shape)
+* orientation 1: rank (1,1)->0 (1,0)->1 (0,0)->2 (0,1)->3  (rotated 180°)
+
+and in both, the child orientation is simply the column-half bit ``qj``.
+
+The paper's half-swap symmetry (Section 3.4): the two orientations order
+the same two half-sequences of tiles, glued in opposite order.  That is
+immediate from the tables — orientation 1's rank is orientation 0's rank
+plus 2 (mod 4) with identical children — and is what makes Gray-Morton
+pre-/post-additions implementable as two contiguous half-steps
+(:func:`repro.matrix.quadrant.add_views`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bits.gray import gray_decode, gray_encode
+from repro.bits.morton import deinterleave, interleave
+from repro.layouts.base import RecursiveLayout
+
+__all__ = ["GrayMorton"]
+
+
+class GrayMorton(RecursiveLayout):
+    """Gray-Morton layout ``L_G``: two orientations, half-swap symmetry."""
+
+    name = "LG"
+    n_orientations = 2
+    rank_table = np.array(
+        [
+            [[0, 1], [3, 2]],  # orientation 0
+            [[2, 3], [1, 0]],  # orientation 1 (rotated 180 degrees)
+        ],
+        dtype=np.int64,
+    )
+    # Child orientation is the column-half bit in both orientations.
+    child_table = np.array(
+        [
+            [[0, 1], [0, 1]],
+            [[0, 1], [0, 1]],
+        ],
+        dtype=np.int64,
+    )
+
+    def s(self, i, j, order: int) -> np.ndarray:
+        i = np.asarray(i, dtype=np.uint64)
+        j = np.asarray(j, dtype=np.uint64)
+        return gray_decode(interleave(gray_encode(i), gray_encode(j)))
+
+    def s_inv(self, s, order: int):
+        gi, gj = deinterleave(gray_encode(s))
+        return gray_decode(gi), gray_decode(gj)

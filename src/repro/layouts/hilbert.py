@@ -1,0 +1,36 @@
+"""Hilbert layout ``L_H`` (Section 3.3 of the paper): four orientations.
+
+The quadrant FSM comes from :mod:`repro.bits.hilbert`, where it is built
+by closing the square symmetries of Hilbert's construction (the
+table-driven formulation Bially describes).  The closed-form ``s``/``s_inv``
+here are the vectorized FSM drivers themselves — there is no simpler bit
+formula for the Hilbert curve; its per-pair output depends on all more
+significant bits, which is why the paper ranks it as the most expensive
+layout to address and why it needs the global mapping arrays
+(:func:`repro.layouts.base.orientation_permutation`) during pre-/post-
+additions.
+"""
+
+from __future__ import annotations
+
+from repro.bits import hilbert as _hb
+from repro.layouts.base import RecursiveLayout
+
+__all__ = ["Hilbert"]
+
+
+class Hilbert(RecursiveLayout):
+    """Hilbert layout ``L_H``: four orientations."""
+
+    name = "LH"
+    n_orientations = _hb.N_STATES
+    # bits.hilbert tables are indexed [state, column_bit, row_bit]; the
+    # Layout convention is [state, row_bit, column_bit].
+    rank_table = _hb.HILBERT_RANK.transpose(0, 2, 1).copy()
+    child_table = _hb.HILBERT_CHILD.transpose(0, 2, 1).copy()
+
+    def s(self, i, j, order: int):
+        return _hb.hilbert_s(i, j, order)
+
+    def s_inv(self, s, order: int):
+        return _hb.hilbert_s_inv(s, order)

@@ -1,0 +1,63 @@
+"""Name-based registry for the six layout functions of the paper.
+
+The evaluation (Section 5) sweeps ``L_C, L_U, L_X, L_Z, L_G, L_H``; we
+also register ``L_R`` for completeness (Figure 2 shows it).  Layouts are
+stateless singletons.
+"""
+
+from __future__ import annotations
+
+from repro.layouts.base import Layout, RecursiveLayout
+from repro.layouts.canonical import ColMajor, RowMajor
+from repro.layouts.graymorton import GrayMorton
+from repro.layouts.hilbert import Hilbert
+from repro.layouts.morton import UMorton, XMorton, ZMorton
+
+__all__ = [
+    "LAYOUTS",
+    "RECURSIVE_LAYOUTS",
+    "PAPER_LAYOUTS",
+    "get_layout",
+    "layout_names",
+]
+
+LAYOUTS: dict[str, Layout] = {
+    "LR": RowMajor(),
+    "LC": ColMajor(),
+    "LU": UMorton(),
+    "LX": XMorton(),
+    "LZ": ZMorton(),
+    "LG": GrayMorton(),
+    "LH": Hilbert(),
+}
+
+#: The five curve-based layouts evaluated in the paper.
+RECURSIVE_LAYOUTS: tuple[str, ...] = ("LU", "LX", "LZ", "LG", "LH")
+
+#: The six layouts the paper's Figure 6 compares.
+PAPER_LAYOUTS: tuple[str, ...] = ("LC", "LU", "LX", "LZ", "LG", "LH")
+
+
+def get_layout(name: str | Layout) -> Layout:
+    """Resolve a layout by name (case-insensitive) or pass one through."""
+    if isinstance(name, Layout):
+        return name
+    key = str(name).upper()
+    if key not in LAYOUTS:
+        raise KeyError(f"unknown layout {name!r}; known: {sorted(LAYOUTS)}")
+    return LAYOUTS[key]
+
+
+def layout_names(recursive_only: bool = False) -> tuple[str, ...]:
+    """Names of registered layouts, optionally only the recursive ones."""
+    if recursive_only:
+        return RECURSIVE_LAYOUTS
+    return tuple(LAYOUTS)
+
+
+def get_recursive_layout(name: str | Layout) -> RecursiveLayout:
+    """Like :func:`get_layout` but requires a curve-based layout."""
+    layout = get_layout(name)
+    if not isinstance(layout, RecursiveLayout):
+        raise TypeError(f"layout {layout.name} is not recursive")
+    return layout

@@ -1,0 +1,147 @@
+"""Composite layout of equation (3): recursive over tiles, canonical within.
+
+The paper stops the recursive layout at a ``t_R x t_C`` tile that fits in
+cache and stores the tile itself in column-major order::
+
+    L(i, j; m, n, t_R, t_C) = t_R*t_C * S(i div t_R, j div t_C)
+                              + L_C(i mod t_R, j mod t_C; t_R, t_C)
+
+A :class:`TiledLayout` binds a curve (the ``S`` function), the tile-grid
+order ``d`` (grid is ``2^d x 2^d`` tiles, equation (2)) and the tile shape.
+It answers address queries both per element (vectorized, used for
+conversion and verification) and per tile (used by the recursion).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+
+import numpy as np
+
+from repro.layouts.base import Layout
+from repro.layouts.registry import get_layout
+
+__all__ = ["TiledLayout"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TiledLayout:
+    """Recursive-over-tiles layout for a ``(2^d * t_r) x (2^d * t_c)`` array."""
+
+    curve: Layout
+    d: int
+    t_r: int
+    t_c: int
+
+    def __post_init__(self) -> None:
+        if self.d < 0:
+            raise ValueError(f"tile-grid order d must be >= 0, got {self.d}")
+        if self.t_r < 1 or self.t_c < 1:
+            raise ValueError(f"tile shape must be positive, got {self.t_r}x{self.t_c}")
+
+    @staticmethod
+    def create(curve: str | Layout, d: int, t_r: int, t_c: int) -> "TiledLayout":
+        """Build a TiledLayout, resolving the curve by name."""
+        return TiledLayout(get_layout(curve), d, t_r, t_c)
+
+    # -- geometry ---------------------------------------------------------
+    @property
+    def grid_side(self) -> int:
+        """Tiles per side of the (square) tile grid."""
+        return 1 << self.d
+
+    @property
+    def n_tiles(self) -> int:
+        """Total number of tiles."""
+        return 1 << (2 * self.d)
+
+    @property
+    def tile_size(self) -> int:
+        """Elements per tile."""
+        return self.t_r * self.t_c
+
+    @property
+    def rows(self) -> int:
+        """Padded row count ``m' = 2^d * t_r``."""
+        return self.grid_side * self.t_r
+
+    @property
+    def cols(self) -> int:
+        """Padded column count ``n' = 2^d * t_c``."""
+        return self.grid_side * self.t_c
+
+    @property
+    def n_elements(self) -> int:
+        """Total buffer length in elements."""
+        return self.n_tiles * self.tile_size
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.curve.name}[{self.grid_side}x{self.grid_side} tiles of "
+            f"{self.t_r}x{self.t_c}]"
+        )
+
+    # -- addressing ---------------------------------------------------------
+    def tile_base(self, ti, tj) -> np.ndarray:
+        """Buffer offset of the first element of tile ``(ti, tj)``."""
+        s = self.curve.s(np.asarray(ti), np.asarray(tj), self.d)
+        return s.astype(np.int64) * self.tile_size
+
+    def address(self, i, j) -> np.ndarray:
+        """Equation (3): buffer offset of element ``(i, j)`` (vectorized)."""
+        i = np.asarray(i, dtype=np.int64)
+        j = np.asarray(j, dtype=np.int64)
+        if i.size and (i.min() < 0 or i.max() >= self.rows):
+            raise IndexError(f"row index outside [0, {self.rows})")
+        if j.size and (j.min() < 0 or j.max() >= self.cols):
+            raise IndexError(f"column index outside [0, {self.cols})")
+        ti, fi = np.divmod(i, self.t_r)
+        tj, fj = np.divmod(j, self.t_c)
+        return self.tile_base(ti, tj) + fj * self.t_r + fi
+
+    def address_scalar(self, i: int, j: int) -> int:
+        """Scalar convenience wrapper over :meth:`address`."""
+        return int(self.address(np.asarray([i]), np.asarray([j]))[0])
+
+    def coords(self, offset) -> tuple[np.ndarray, np.ndarray]:
+        """Inverse of :meth:`address`: buffer offsets -> ``(i, j)``."""
+        offset = np.asarray(offset, dtype=np.int64)
+        s, within = np.divmod(offset, self.tile_size)
+        ti, tj = self.curve.s_inv(s.astype(np.uint64), self.d)
+        fj, fi = np.divmod(within, self.t_r)
+        return (
+            ti.astype(np.int64) * self.t_r + fi,
+            tj.astype(np.int64) * self.t_c + fj,
+        )
+
+    # -- whole-array permutations (conversion fast path) --------------------
+    def element_permutation(self) -> np.ndarray:
+        """Gather indices mapping a column-major dense array to this layout.
+
+        ``buf = dense.ravel(order="F")[perm]`` converts in one gather;
+        the result is cached per layout configuration because the paper's
+        dgemm interface converts every operand on entry (Section 4,
+        "conversion and transposition issues").
+        """
+        return _element_permutation_cached(
+            self.curve, self.d, self.t_r, self.t_c
+        )
+
+    def inverse_element_permutation(self) -> np.ndarray:
+        """Scatter indices mapping this layout back to column-major order."""
+        perm = self.element_permutation()
+        inv = np.empty_like(perm)
+        inv[perm] = np.arange(perm.size, dtype=perm.dtype)
+        return inv
+
+
+@functools.lru_cache(maxsize=32)
+def _element_permutation_cached(
+    curve: Layout, d: int, t_r: int, t_c: int
+) -> np.ndarray:
+    lay = TiledLayout(curve, d, t_r, t_c)
+    off = np.arange(lay.n_elements, dtype=np.int64)
+    i, j = lay.coords(off)
+    # Column-major linear index of each (i, j) in the padded dense array.
+    return j * lay.rows + i

@@ -1,0 +1,71 @@
+"""Matrix containers, tiling/padding policy, conversion, quadrant ops."""
+
+from repro.matrix.tile import (
+    DEFAULT_T_MAX,
+    DEFAULT_T_MIN,
+    InfeasibleTiling,
+    MatmulTiling,
+    TileRange,
+    Tiling,
+    classify_aspect,
+    matmul_tiling_for_fixed_tile,
+    select_matmul_tiling,
+    select_tiling,
+)
+from repro.matrix.tiledmatrix import (
+    DenseMatrix,
+    DenseView,
+    MatrixView,
+    QuadView,
+    TiledMatrix,
+)
+from repro.matrix.convert import (
+    ConversionStats,
+    from_tiled,
+    to_dense_padded,
+    to_tiled,
+)
+from repro.matrix.quadrant import (
+    add_views,
+    copy_view,
+    iadd_views,
+    scale_view,
+    sub_views,
+    views_compatible,
+    zero_view,
+)
+from repro.matrix.partition import BlockProduct, PartitionPlan, plan_partition
+from repro.matrix import ops
+
+__all__ = [
+    "DEFAULT_T_MAX",
+    "DEFAULT_T_MIN",
+    "InfeasibleTiling",
+    "MatmulTiling",
+    "TileRange",
+    "Tiling",
+    "classify_aspect",
+    "matmul_tiling_for_fixed_tile",
+    "select_matmul_tiling",
+    "select_tiling",
+    "DenseMatrix",
+    "DenseView",
+    "MatrixView",
+    "QuadView",
+    "TiledMatrix",
+    "ConversionStats",
+    "from_tiled",
+    "to_dense_padded",
+    "to_tiled",
+    "add_views",
+    "copy_view",
+    "iadd_views",
+    "scale_view",
+    "sub_views",
+    "views_compatible",
+    "zero_view",
+    "BlockProduct",
+    "PartitionPlan",
+    "plan_partition",
+    "ops",
+]

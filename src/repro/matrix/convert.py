@@ -1,0 +1,164 @@
+"""Format conversion between canonical (dgemm) and recursive layouts.
+
+The paper's interface (Section 2.1/4) is honest about conversion: all
+matrices arrive in column-major order, are converted into the recursive
+layout in internally allocated storage (with any needed transposition
+fused into the remap), and the result is converted back.  This module
+performs those conversions and *accounts for their cost*, so experiments
+can report conversion overhead as a fraction of end-to-end time (the
+accounting Frens & Wise omitted).
+
+The fast path converts with a single cached gather permutation
+(:meth:`repro.layouts.tiled.TiledLayout.element_permutation`); a
+straightforward per-tile loop is kept as ``method="tiles"`` both as an
+independently-testable reference and as the ablation baseline for the
+addressing benchmarks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+import numpy as np
+
+from repro.layouts.registry import get_recursive_layout
+from repro.layouts.tiled import TiledLayout
+from repro.matrix.tile import Tiling
+from repro.matrix.tiledmatrix import DenseMatrix, TiledMatrix
+
+__all__ = ["ConversionStats", "to_tiled", "from_tiled", "to_dense_padded"]
+
+
+@dataclasses.dataclass
+class ConversionStats:
+    """Accumulated cost of layout conversions."""
+
+    elements: int = 0
+    bytes: int = 0
+    seconds: float = 0.0
+    count: int = 0
+
+    def record(self, elements: int, itemsize: int, seconds: float) -> None:
+        """Add one conversion to the running totals."""
+        self.elements += elements
+        self.bytes += elements * itemsize
+        self.seconds += seconds
+        self.count += 1
+
+
+def _padded_dense(
+    a: np.ndarray, tiling: Tiling, transpose: bool, dtype
+) -> np.ndarray:
+    """Zero-padded column-major copy of ``op(a)`` at the tiling's padded dims."""
+    src = a.T if transpose else a
+    if src.shape != (tiling.m, tiling.n):
+        raise ValueError(
+            f"op(a) shape {src.shape} does not match tiling {tiling.m}x{tiling.n}"
+        )
+    pm, pn = tiling.padded_m, tiling.padded_n
+    out = np.zeros((pm, pn), dtype=dtype, order="F")
+    out[: tiling.m, : tiling.n] = src
+    return out
+
+
+def to_tiled(
+    a: np.ndarray,
+    curve,
+    tiling: Tiling,
+    transpose: bool = False,
+    dtype=None,
+    method: str = "gather",
+    stats: ConversionStats | None = None,
+    rt=None,
+) -> TiledMatrix:
+    """Convert a dense (column-major convention) matrix to recursive layout.
+
+    ``transpose=True`` converts ``a.T`` — the fused transposition of the
+    paper's remap step, so ``op(X)`` never needs a separate pass.
+
+    ``rt`` (a :mod:`repro.runtime` runtime) parallelizes the remap: the
+    gather is split into independent chunks spawned Cilk-style — the
+    paper's observation that "the remapping of the individual tiles is
+    again amenable to parallel execution".
+    """
+    t0 = time.perf_counter()
+    dtype = dtype or a.dtype
+    layout = TiledLayout(get_recursive_layout(curve), tiling.d, tiling.t_r, tiling.t_c)
+    padded = _padded_dense(a, tiling, transpose, dtype)
+    if method == "gather" and rt is not None:
+        perm = layout.element_permutation()
+        flat = padded.ravel(order="F")
+        buf = np.empty(layout.n_elements, dtype=dtype)
+        n_chunks = 4
+        bounds = np.linspace(0, perm.size, n_chunks + 1, dtype=np.int64)
+
+        def chunk(lo, hi):
+            def run():
+                buf[lo:hi] = flat[perm[lo:hi]]
+                rt.task_stream(int(hi - lo))
+
+            return run
+
+        rt.spawn_all([chunk(lo, hi) for lo, hi in zip(bounds, bounds[1:])])
+    elif method == "gather":
+        buf = padded.ravel(order="F")[layout.element_permutation()]
+    elif method == "tiles":
+        buf = np.empty(layout.n_elements, dtype=dtype)
+        tsize = layout.tile_size
+        side = layout.grid_side
+        order = layout.curve.tile_order(layout.d)
+        for ti in range(side):
+            for tj in range(side):
+                base = int(order[ti, tj]) * tsize
+                tile = padded[
+                    ti * layout.t_r : (ti + 1) * layout.t_r,
+                    tj * layout.t_c : (tj + 1) * layout.t_c,
+                ]
+                buf[base : base + tsize] = tile.ravel(order="F")
+    else:
+        raise ValueError(f"unknown conversion method {method!r}")
+    out = TiledMatrix(layout, buf, tiling.m, tiling.n)
+    if stats is not None:
+        stats.record(layout.n_elements, out.dtype.itemsize, time.perf_counter() - t0)
+    return out
+
+
+def from_tiled(
+    tm: TiledMatrix,
+    stats: ConversionStats | None = None,
+) -> np.ndarray:
+    """Convert back to a dense column-major ``m x n`` array (pad stripped)."""
+    t0 = time.perf_counter()
+    layout = tm.layout
+    flat = np.empty(layout.n_elements, dtype=tm.dtype)
+    flat[layout.element_permutation()] = tm.buf
+    dense = flat.reshape(layout.rows, layout.cols, order="F")
+    out = np.asfortranarray(dense[: tm.m, : tm.n])
+    if stats is not None:
+        stats.record(layout.n_elements, tm.dtype.itemsize, time.perf_counter() - t0)
+    return out
+
+
+def to_dense_padded(
+    a: np.ndarray,
+    tiling: Tiling,
+    transpose: bool = False,
+    dtype=None,
+    order: str = "F",
+    stats: ConversionStats | None = None,
+) -> DenseMatrix:
+    """Zero-pad ``op(a)`` into a canonical-layout :class:`DenseMatrix`.
+
+    This is the L_C baseline's "conversion": only padding, no reordering,
+    so its cost is charged through the same accounting for fairness.
+    """
+    t0 = time.perf_counter()
+    dtype = dtype or a.dtype
+    padded = _padded_dense(a, tiling, transpose, dtype)
+    if order == "C":
+        padded = np.ascontiguousarray(padded)
+    out = DenseMatrix(padded, tiling.m, tiling.n, tiling.t_r, tiling.t_c)
+    if stats is not None:
+        stats.record(padded.size, out.dtype.itemsize, time.perf_counter() - t0)
+    return out

@@ -1,0 +1,145 @@
+"""Whole-matrix operations on recursive-layout storage.
+
+A small BLAS-1/2-flavoured layer over :class:`TiledMatrix`, so
+downstream code can stay in the recursive layout between products
+instead of converting back and forth (the conversion cost the paper is
+careful to charge).  All operations work directly on the tile buffers:
+
+* :func:`add` / :func:`subtract` / :func:`scale` / :func:`axpy` —
+  streaming passes over the contiguous buffers;
+* :func:`transpose` — curve-aware: tile ``(ti, tj)`` moves to the curve
+  position of ``(tj, ti)`` (one vectorized gather) and each tile is
+  transposed in place (one vectorized axis swap), so no per-element
+  address computation happens;
+* :func:`frobenius_norm`, :func:`trace`, :func:`allclose`,
+  :func:`getitem_block` — reductions and extraction.
+
+Operands must share curve, grid order and tile shape (and, for
+``transpose``, square tiles or matching transposed geometry).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels import instrument
+from repro.layouts.tiled import TiledLayout
+from repro.matrix.tiledmatrix import TiledMatrix
+
+__all__ = [
+    "add",
+    "subtract",
+    "scale",
+    "axpy",
+    "transpose",
+    "frobenius_norm",
+    "trace",
+    "allclose",
+    "getitem_block",
+]
+
+
+def _require_same_geometry(x: TiledMatrix, y: TiledMatrix) -> None:
+    if x.layout != y.layout:
+        raise ValueError(f"layout mismatch: {x.layout} vs {y.layout}")
+    if x.shape != y.shape:
+        raise ValueError(f"logical shape mismatch: {x.shape} vs {y.shape}")
+
+
+def _like(x: TiledMatrix) -> TiledMatrix:
+    return TiledMatrix(
+        x.layout, np.empty_like(x.buf), x.m, x.n
+    )
+
+
+def add(x: TiledMatrix, y: TiledMatrix, out: TiledMatrix | None = None) -> TiledMatrix:
+    """Elementwise ``x + y`` in the shared layout (one streaming pass)."""
+    _require_same_geometry(x, y)
+    out = out or _like(x)
+    _require_same_geometry(x, out)
+    np.add(x.buf, y.buf, out=out.buf)
+    instrument.count_adds(x.buf.size)
+    return out
+
+
+def subtract(
+    x: TiledMatrix, y: TiledMatrix, out: TiledMatrix | None = None
+) -> TiledMatrix:
+    """Elementwise ``x - y``."""
+    _require_same_geometry(x, y)
+    out = out or _like(x)
+    _require_same_geometry(x, out)
+    np.subtract(x.buf, y.buf, out=out.buf)
+    instrument.count_adds(x.buf.size)
+    return out
+
+
+def scale(x: TiledMatrix, alpha: float) -> TiledMatrix:
+    """In-place ``x *= alpha``; returns ``x``."""
+    np.multiply(x.buf, alpha, out=x.buf)
+    instrument.count_adds(x.buf.size)
+    return x
+
+
+def axpy(alpha: float, x: TiledMatrix, y: TiledMatrix) -> TiledMatrix:
+    """In-place ``y += alpha * x``; returns ``y``."""
+    _require_same_geometry(x, y)
+    if alpha == 1.0:
+        y.buf += x.buf
+    else:
+        y.buf += alpha * x.buf
+    instrument.count_adds(x.buf.size)
+    return y
+
+
+def transpose(x: TiledMatrix) -> TiledMatrix:
+    """Curve-aware transpose without leaving the recursive layout.
+
+    The result stores ``x.T`` with tile shape ``(t_c, t_r)`` on the same
+    curve: destination tile position ``S(ti, tj)`` receives source tile
+    ``S(tj, ti)`` (a single gather using the curve's vectorized S), and
+    each tile's column-major buffer of shape ``(t_r, t_c)`` is re-read
+    as the row-major buffer of its transpose (a vectorized axis swap).
+    """
+    lay = x.layout
+    out_layout = TiledLayout(lay.curve, lay.d, lay.t_c, lay.t_r)
+    side = lay.grid_side
+    ti, tj = np.meshgrid(np.arange(side), np.arange(side), indexing="ij")
+    src_pos = lay.curve.s(tj.ravel(), ti.ravel(), lay.d).astype(np.int64)
+    dst_pos = lay.curve.s(ti.ravel(), tj.ravel(), lay.d).astype(np.int64)
+    perm = np.empty(lay.n_tiles, dtype=np.int64)
+    perm[dst_pos] = src_pos
+    # Gather tiles, then swap each tile's axes: the F-order buffer of a
+    # (t_r, t_c) tile is the C-order buffer of its (t_c, t_r) transpose.
+    tiles = x.buf.reshape(lay.n_tiles, lay.t_c, lay.t_r)[perm]
+    buf = np.ascontiguousarray(tiles.transpose(0, 2, 1)).reshape(-1)
+    instrument.count_copies(x.buf.size)
+    return TiledMatrix(out_layout, buf, x.n, x.m)
+
+
+def frobenius_norm(x: TiledMatrix) -> float:
+    """Frobenius norm over the logical matrix (pad is zero by invariant)."""
+    return float(np.linalg.norm(x.buf))
+
+
+def trace(x: TiledMatrix) -> float:
+    """Sum of the logical diagonal."""
+    n = min(x.m, x.n)
+    idx = np.arange(n)
+    return float(x.buf[x.layout.address(idx, idx)].sum())
+
+
+def allclose(x: TiledMatrix, y: TiledMatrix, **kw) -> bool:
+    """Numerical equality of two same-layout matrices."""
+    _require_same_geometry(x, y)
+    return bool(np.allclose(x.buf, y.buf, **kw))
+
+
+def getitem_block(
+    x: TiledMatrix, rows: slice, cols: slice
+) -> np.ndarray:
+    """Dense copy of a logical sub-block (vectorized address gather)."""
+    r = np.arange(*rows.indices(x.m))
+    c = np.arange(*cols.indices(x.n))
+    ii, jj = np.meshgrid(r, c, indexing="ij")
+    return x.buf[x.layout.address(ii, jj)]

@@ -1,0 +1,238 @@
+"""Tile-size selection and padding policy (Section 4 of the paper).
+
+The paper relaxes equation (2) by choosing tile sizes from an
+architecture-dependent range ``[T_min, T_max]``, explicitly zero-padding
+the matrix up to ``2^d * t`` per axis, and blindly computing on the pad.
+The maximum pad-to-matrix ratio is ``1/T_min``.  A matrix is *squat*
+(directly tileable), *wide* or *lean* depending on how its aspect ratio
+``m/n`` compares with ``alpha = T_max / T_min``; wide/lean matrices must
+first be partitioned (:mod:`repro.matrix.partition`).
+
+For a matrix product all three matrices share one tile-grid order ``d``
+(A is ``2^d x 2^d`` tiles of ``t_m x t_k``, B of ``t_k x t_n``, C of
+``t_m x t_n``), so selection happens jointly over ``(m, k, n)``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.bits.util import ceil_div
+
+__all__ = [
+    "DEFAULT_T_MIN",
+    "DEFAULT_T_MAX",
+    "TileRange",
+    "Tiling",
+    "MatmulTiling",
+    "classify_aspect",
+    "select_tiling",
+    "select_matmul_tiling",
+    "matmul_tiling_for_fixed_tile",
+    "InfeasibleTiling",
+]
+
+#: Default tile-size range.  The paper's sweet spot on the UltraSPARC was
+#: around t = 16-64 (Figure 4); 16..32 keeps a 3-tile working set of
+#: doubles within a small L1 while bounding pad waste to 1/16.
+DEFAULT_T_MIN = 16
+DEFAULT_T_MAX = 32
+
+
+class InfeasibleTiling(ValueError):
+    """No tile-grid order places every tile size inside [T_min, T_max]."""
+
+
+@dataclasses.dataclass(frozen=True)
+class TileRange:
+    """Acceptable tile-size range with the paper's aspect bound ``alpha``."""
+
+    t_min: int = DEFAULT_T_MIN
+    t_max: int = DEFAULT_T_MAX
+
+    def __post_init__(self) -> None:
+        if not (1 <= self.t_min <= self.t_max):
+            raise ValueError(f"need 1 <= t_min <= t_max, got {self.t_min}, {self.t_max}")
+
+    @property
+    def alpha(self) -> float:
+        """Maximum squat aspect ratio ``T_max / T_min``."""
+        return self.t_max / self.t_min
+
+    def contains(self, t: int) -> bool:
+        """True if tile size ``t`` is acceptable."""
+        return self.t_min <= t <= self.t_max
+
+
+def classify_aspect(m: int, n: int, trange: TileRange | None = None) -> str:
+    """Classify an ``m x n`` matrix as ``"wide"``, ``"squat"`` or ``"lean"``.
+
+    Follows the paper's definitions verbatim: wide if ``m/n > alpha``,
+    lean if ``m/n < 1/alpha``, squat otherwise.
+    """
+    trange = trange or TileRange()
+    ratio = m / n
+    if ratio > trange.alpha:
+        return "wide"
+    if ratio < 1.0 / trange.alpha:
+        return "lean"
+    return "squat"
+
+
+@dataclasses.dataclass(frozen=True)
+class Tiling:
+    """A concrete tiling of one matrix: ``2^d x 2^d`` tiles of ``t_r x t_c``."""
+
+    d: int
+    t_r: int
+    t_c: int
+    m: int
+    n: int
+
+    @property
+    def padded_m(self) -> int:
+        """Row count after padding."""
+        return self.t_r << self.d
+
+    @property
+    def padded_n(self) -> int:
+        """Column count after padding."""
+        return self.t_c << self.d
+
+    @property
+    def pad_ratio(self) -> float:
+        """Padded area over logical area, minus one."""
+        return self.padded_m * self.padded_n / (self.m * self.n) - 1.0
+
+
+@dataclasses.dataclass(frozen=True)
+class MatmulTiling:
+    """Joint tiling of (C, A, B) for ``C(m x n) = A(m x k) . B(k x n)``."""
+
+    d: int
+    t_m: int
+    t_k: int
+    t_n: int
+    m: int
+    k: int
+    n: int
+
+    @property
+    def padded(self) -> tuple[int, int, int]:
+        """Padded ``(m', k', n')``."""
+        return (self.t_m << self.d, self.t_k << self.d, self.t_n << self.d)
+
+    def tiling_a(self) -> Tiling:
+        """Tiling of the left operand A."""
+        return Tiling(self.d, self.t_m, self.t_k, self.m, self.k)
+
+    def tiling_b(self) -> Tiling:
+        """Tiling of the right operand B."""
+        return Tiling(self.d, self.t_k, self.t_n, self.k, self.n)
+
+    def tiling_c(self) -> Tiling:
+        """Tiling of the result C."""
+        return Tiling(self.d, self.t_m, self.t_n, self.m, self.n)
+
+    @property
+    def flops(self) -> int:
+        """Padded multiply-add flop count of the standard algorithm."""
+        pm, pk, pn = self.padded
+        return 2 * pm * pk * pn
+
+
+def _tile_ok(t: int, dim: int, trange: TileRange) -> bool:
+    """Acceptable tile size for one dimension.
+
+    Inside [T_min, T_max] normally; dimensions smaller than T_min are
+    exempt from the lower bound (the whole axis already fits a tile —
+    the paper's range exists to balance recursion overhead against
+    cache capacity, and neither concern applies to a tiny axis).
+    """
+    return t <= trange.t_max and (t >= trange.t_min or dim < trange.t_min)
+
+
+def _feasible_orders(dims: tuple[int, ...], trange: TileRange):
+    """Yield (d, tile sizes) for every d making all tile sizes acceptable."""
+    # d is bounded: t = ceil(dim / 2^d) >= t_min forces 2^d <= dim / t_min.
+    max_dim = max(dims)
+    d = 0
+    while (1 << d) <= max(1, max_dim // max(1, trange.t_min)) + 1:
+        tiles = tuple(ceil_div(dim, 1 << d) for dim in dims)
+        if all(_tile_ok(t, dim, trange) for t, dim in zip(tiles, dims)):
+            yield d, tiles
+        d += 1
+
+
+def select_tiling(m: int, n: int, trange: TileRange | None = None) -> Tiling:
+    """Pick ``(d, t_r, t_c)`` for one matrix, minimizing padded area.
+
+    Raises :class:`InfeasibleTiling` for wide/lean matrices — callers
+    should partition first (Figure 3 of the paper).
+    """
+    if m < 1 or n < 1:
+        raise ValueError(f"matrix dims must be positive, got {m}x{n}")
+    trange = trange or TileRange()
+    best: Tiling | None = None
+    for d, (t_r, t_c) in _feasible_orders((m, n), trange):
+        cand = Tiling(d, t_r, t_c, m, n)
+        if best is None or (cand.padded_m * cand.padded_n) < (
+            best.padded_m * best.padded_n
+        ):
+            best = cand
+    if best is None:
+        raise InfeasibleTiling(
+            f"no tiling of {m}x{n} with tiles in [{trange.t_min}, {trange.t_max}]"
+            f" (aspect {m / n:.3g} vs alpha {trange.alpha:.3g})"
+        )
+    return best
+
+
+def select_matmul_tiling(
+    m: int, k: int, n: int, trange: TileRange | None = None
+) -> MatmulTiling:
+    """Pick a joint ``(d, t_m, t_k, t_n)`` for a product, minimizing pad.
+
+    Raises :class:`InfeasibleTiling` when any pairwise aspect ratio is
+    outside ``[1/alpha, alpha]`` — the Figure 3 splitting case.
+    """
+    if min(m, k, n) < 1:
+        raise ValueError(f"matmul dims must be positive, got {m}, {k}, {n}")
+    trange = trange or TileRange()
+    best: MatmulTiling | None = None
+    best_pad = None
+    for d, (t_m, t_k, t_n) in _feasible_orders((m, k, n), trange):
+        cand = MatmulTiling(d, t_m, t_k, t_n, m, k, n)
+        pm, pk, pn = cand.padded
+        pad = pm * pk + pk * pn + pm * pn
+        if best is None or pad < best_pad:
+            best, best_pad = cand, pad
+    if best is None:
+        raise InfeasibleTiling(
+            f"no joint tiling for ({m}x{k})({k}x{n}) with tiles in "
+            f"[{trange.t_min}, {trange.t_max}]"
+        )
+    return best
+
+
+def matmul_tiling_for_fixed_tile(m: int, k: int, n: int, t: int) -> MatmulTiling:
+    """Joint tiling with an explicitly forced square tile size ``t``.
+
+    Used by the Figure 4 experiment, which sweeps the recursion depth by
+    fixing ``t`` (the paper picks n so that ``n/t`` is a power of two and
+    no padding occurs; other shapes pad as usual).
+    """
+    if t < 1:
+        raise ValueError(f"tile size must be positive, got {t}")
+    d = 0
+    while (ceil_div(max(m, k, n), 1 << d)) > t:
+        d += 1
+    return MatmulTiling(
+        d,
+        ceil_div(m, 1 << d),
+        ceil_div(k, 1 << d),
+        ceil_div(n, 1 << d),
+        m,
+        k,
+        n,
+    )

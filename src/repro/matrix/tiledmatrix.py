@@ -1,0 +1,361 @@
+"""Matrix containers: recursive-layout storage and views over it.
+
+Two storage families, sharing one *view* protocol that the recursive
+algorithms consume:
+
+* :class:`TiledMatrix` / :class:`QuadView` — the paper's recursive
+  layout: a flat buffer of contiguous ``t_r x t_c`` column-major tiles
+  ordered along a space-filling curve.  A ``QuadView`` is a square
+  ``2^d x 2^d``-tile region that is **contiguous in the buffer**, plus
+  its curve orientation; descending to a quadrant is two table lookups
+  (the paper's "address computation embedded in the control structure").
+
+* :class:`DenseMatrix` / :class:`DenseView` — the honest ``L_C``/``L_R``
+  baseline: one column-major (or row-major) numpy array; views are
+  strided sub-arrays with leading dimension equal to the *whole* padded
+  matrix, which is precisely what causes the canonical layout's
+  interference misses and false sharing in the paper's measurements.
+
+Both view types expose: ``rows``/``cols`` (padded), ``is_leaf``,
+``quadrant(qi, qj)``, ``leaf_array()`` and ``alloc_like()``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Union
+
+import numpy as np
+
+from repro.layouts.base import RecursiveLayout
+from repro.layouts.registry import get_recursive_layout
+from repro.layouts.tiled import TiledLayout
+
+__all__ = ["TiledMatrix", "QuadView", "DenseMatrix", "DenseView", "MatrixView"]
+
+
+class TiledMatrix:
+    """A padded matrix stored in a recursive layout (equation (3)).
+
+    The logical matrix is ``m x n``; storage covers the padded
+    ``(t_r << d) x (t_c << d)`` with explicit zeros in the pad (the
+    paper's padding policy: compute blindly on the zeros).
+    """
+
+    __slots__ = ("layout", "buf", "m", "n")
+
+    def __init__(self, layout: TiledLayout, buf: np.ndarray, m: int, n: int):
+        if buf.ndim != 1 or buf.shape[0] != layout.n_elements:
+            raise ValueError(
+                f"buffer length {buf.shape} does not match layout "
+                f"({layout.n_elements} elements)"
+            )
+        if not (0 < m <= layout.rows and 0 < n <= layout.cols):
+            raise ValueError(
+                f"logical dims {m}x{n} incompatible with padded "
+                f"{layout.rows}x{layout.cols}"
+            )
+        if not isinstance(layout.curve, RecursiveLayout):
+            raise TypeError("TiledMatrix requires a recursive curve layout")
+        self.layout = layout
+        self.buf = buf
+        self.m = m
+        self.n = n
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def zeros(
+        cls,
+        curve,
+        d: int,
+        t_r: int,
+        t_c: int,
+        m: int | None = None,
+        n: int | None = None,
+        dtype=np.float64,
+    ) -> "TiledMatrix":
+        """Zero-filled matrix; logical dims default to the padded dims."""
+        layout = TiledLayout(get_recursive_layout(curve), d, t_r, t_c)
+        buf = np.zeros(layout.n_elements, dtype=dtype)
+        return cls(layout, buf, m or layout.rows, n or layout.cols)
+
+    @property
+    def dtype(self):
+        """Element dtype of the backing buffer."""
+        return self.buf.dtype
+
+    @property
+    def padded_shape(self) -> tuple[int, int]:
+        """Padded (rows, cols)."""
+        return (self.layout.rows, self.layout.cols)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Logical (rows, cols)."""
+        return (self.m, self.n)
+
+    def root_view(self) -> "QuadView":
+        """View covering the whole tile grid, root orientation."""
+        return QuadView(self, 0, self.layout.d, 0)
+
+    def __getitem__(self, idx: tuple[int, int]):
+        """Element access by logical (i, j) — for tests and debugging."""
+        i, j = idx
+        if not (0 <= i < self.m and 0 <= j < self.n):
+            raise IndexError(f"({i}, {j}) outside logical {self.m}x{self.n}")
+        return self.buf[self.layout.address_scalar(i, j)]
+
+    def __setitem__(self, idx: tuple[int, int], value) -> None:
+        i, j = idx
+        if not (0 <= i < self.m and 0 <= j < self.n):
+            raise IndexError(f"({i}, {j}) outside logical {self.m}x{self.n}")
+        self.buf[self.layout.address_scalar(i, j)] = value
+
+
+@dataclasses.dataclass(frozen=True)
+class QuadView:
+    """A contiguous ``2^d x 2^d``-tile square region of a TiledMatrix."""
+
+    matrix: TiledMatrix
+    tile_off: int
+    d: int
+    orientation: int
+
+    # -- geometry ----------------------------------------------------------
+    @property
+    def curve(self) -> RecursiveLayout:
+        """The space-filling curve governing tile order."""
+        return self.matrix.layout.curve  # type: ignore[return-value]
+
+    @property
+    def t_r(self) -> int:
+        """Tile row count."""
+        return self.matrix.layout.t_r
+
+    @property
+    def t_c(self) -> int:
+        """Tile column count."""
+        return self.matrix.layout.t_c
+
+    @property
+    def n_tiles(self) -> int:
+        """Tiles covered by this view."""
+        return 1 << (2 * self.d)
+
+    @property
+    def rows(self) -> int:
+        """Padded rows covered."""
+        return self.t_r << self.d
+
+    @property
+    def cols(self) -> int:
+        """Padded cols covered."""
+        return self.t_c << self.d
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the view is a single tile."""
+        return self.d == 0
+
+    @property
+    def is_contiguous(self) -> bool:
+        """QuadViews are always buffer-contiguous (the layouts' key property)."""
+        return True
+
+    # -- storage access ------------------------------------------------------
+    def buffer(self) -> np.ndarray:
+        """The contiguous 1-D slice of the backing buffer for this region."""
+        tsize = self.matrix.layout.tile_size
+        start = self.tile_off * tsize
+        return self.matrix.buf[start : start + self.n_tiles * tsize]
+
+    def tiles(self) -> np.ndarray:
+        """(n_tiles, tile_size) 2-D view, tiles in curve order."""
+        return self.buffer().reshape(self.n_tiles, -1)
+
+    def leaf_array(self) -> np.ndarray:
+        """For a leaf view: the (t_r, t_c) column-major 2-D tile."""
+        if not self.is_leaf:
+            raise ValueError(f"leaf_array on non-leaf view (d={self.d})")
+        return self.buffer().reshape(self.t_r, self.t_c, order="F")
+
+    # -- navigation -----------------------------------------------------------
+    def quadrant(self, qi: int, qj: int) -> "QuadView":
+        """Quadrant (row-half, col-half): two FSM table lookups."""
+        if self.d == 0:
+            raise ValueError("cannot take a quadrant of a leaf tile")
+        quad_tiles = self.n_tiles >> 2
+        rank = self.curve.quadrant_rank(self.orientation, qi, qj)
+        child = self.curve.quadrant_orientation(self.orientation, qi, qj)
+        return QuadView(
+            self.matrix, self.tile_off + rank * quad_tiles, self.d - 1, child
+        )
+
+    def quadrants(self) -> tuple["QuadView", "QuadView", "QuadView", "QuadView"]:
+        """(q11, q12, q21, q22) in the paper's numbering (row, col from 1)."""
+        return (
+            self.quadrant(0, 0),
+            self.quadrant(0, 1),
+            self.quadrant(1, 0),
+            self.quadrant(1, 1),
+        )
+
+    # -- temporaries ------------------------------------------------------------
+    def alloc_like(self) -> "QuadView":
+        """Fresh temporary with this view's geometry (orientation 0).
+
+        Uninitialized — the algorithms always *overwrite* temporaries
+        (pre-additions stream into them, products run with beta=0
+        semantics), which is what keeps the paper's 18/15 addition
+        counts exact.
+        """
+        layout = TiledLayout(
+            self.curve, self.d, self.t_r, self.t_c
+        )
+        buf = np.empty(layout.n_elements, dtype=self.matrix.dtype)
+        return TiledMatrix(layout, buf, layout.rows, layout.cols).root_view()
+
+    # -- materialization (tests / verification) -----------------------------------
+    def to_array(self) -> np.ndarray:
+        """Materialize this region as a dense (rows, cols) array (copy)."""
+        side = 1 << self.d
+        out = np.empty((self.rows, self.cols), dtype=self.matrix.dtype)
+        tiles = self.tiles()
+        order = self.curve.tile_order(self.d, self.orientation)
+        for ti in range(side):
+            for tj in range(side):
+                tile = tiles[order[ti, tj]].reshape(self.t_r, self.t_c, order="F")
+                out[
+                    ti * self.t_r : (ti + 1) * self.t_r,
+                    tj * self.t_c : (tj + 1) * self.t_c,
+                ] = tile
+        return out
+
+
+class DenseMatrix:
+    """Canonical-layout matrix: a padded column-/row-major numpy array."""
+
+    __slots__ = ("array", "m", "n", "t_r", "t_c")
+
+    def __init__(self, array: np.ndarray, m: int, n: int, t_r: int, t_c: int):
+        pm, pn = array.shape
+        if pm % t_r or pn % t_c:
+            raise ValueError(f"padded {pm}x{pn} not divisible by tile {t_r}x{t_c}")
+        side_r, side_c = pm // t_r, pn // t_c
+        if side_r != side_c or side_r & (side_r - 1):
+            raise ValueError(
+                f"tile grid {side_r}x{side_c} must be square power-of-two"
+            )
+        self.array = array
+        self.m = m
+        self.n = n
+        self.t_r = t_r
+        self.t_c = t_c
+
+    @classmethod
+    def zeros(
+        cls,
+        d: int,
+        t_r: int,
+        t_c: int,
+        m: int | None = None,
+        n: int | None = None,
+        dtype=np.float64,
+        order: str = "F",
+    ) -> "DenseMatrix":
+        """Zero-filled canonical matrix; ``order`` 'F' is the paper's L_C."""
+        pm, pn = t_r << d, t_c << d
+        a = np.zeros((pm, pn), dtype=dtype, order=order)
+        return cls(a, m or pm, n or pn, t_r, t_c)
+
+    @property
+    def dtype(self):
+        """Element dtype."""
+        return self.array.dtype
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Logical (rows, cols)."""
+        return (self.m, self.n)
+
+    @property
+    def padded_shape(self) -> tuple[int, int]:
+        """Padded (rows, cols)."""
+        return self.array.shape
+
+    def root_view(self) -> "DenseView":
+        """View covering the full padded array."""
+        return DenseView(self.array, self.t_r, self.t_c)
+
+
+@dataclasses.dataclass(frozen=True)
+class DenseView:
+    """A (strided) rectangular region of a canonical-layout matrix."""
+
+    array: np.ndarray  # 2-D numpy view
+    t_r: int
+    t_c: int
+    orientation: int = 0  # canonical views have a single orientation
+
+    @property
+    def rows(self) -> int:
+        """Rows covered."""
+        return self.array.shape[0]
+
+    @property
+    def cols(self) -> int:
+        """Columns covered."""
+        return self.array.shape[1]
+
+    @property
+    def d(self) -> int:
+        """Tile-grid order of this view."""
+        side = self.rows // self.t_r
+        return side.bit_length() - 1
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the view is a single tile."""
+        return self.rows == self.t_r and self.cols == self.t_c
+
+    @property
+    def is_contiguous(self) -> bool:
+        """Strided canonical views are generally not contiguous."""
+        return self.array.flags["F_CONTIGUOUS"] or self.array.flags["C_CONTIGUOUS"]
+
+    def quadrant(self, qi: int, qj: int) -> "DenseView":
+        """Quadrant as a strided sub-view (no data movement)."""
+        hr, hc = self.rows // 2, self.cols // 2
+        sub = self.array[qi * hr : (qi + 1) * hr, qj * hc : (qj + 1) * hc]
+        return DenseView(sub, self.t_r, self.t_c)
+
+    def quadrants(self):
+        """(q11, q12, q21, q22) in the paper's numbering."""
+        return (
+            self.quadrant(0, 0),
+            self.quadrant(0, 1),
+            self.quadrant(1, 0),
+            self.quadrant(1, 1),
+        )
+
+    def leaf_array(self) -> np.ndarray:
+        """The tile as a 2-D (strided) array — no copy."""
+        if not self.is_leaf:
+            raise ValueError("leaf_array on non-leaf view")
+        return self.array
+
+    def alloc_like(self) -> "DenseView":
+        """Fresh column-major temporary of this view's shape (uninitialized,
+        always fully overwritten by its producer — see QuadView.alloc_like)."""
+        return DenseView(
+            np.empty((self.rows, self.cols), dtype=self.array.dtype, order="F"),
+            self.t_r,
+            self.t_c,
+        )
+
+    def to_array(self) -> np.ndarray:
+        """Materialize as a dense array (copy)."""
+        return np.array(self.array)
+
+
+MatrixView = Union[QuadView, DenseView]

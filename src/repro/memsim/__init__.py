@@ -1,0 +1,47 @@
+"""Trace-driven memory-hierarchy simulator substrate."""
+
+from repro.memsim.cache import (
+    LRUCache,
+    miss_count,
+    simulate_direct_mapped,
+    simulate_lru,
+)
+from repro.memsim.classify import MissBreakdown, classify_misses
+from repro.memsim.coherence import SharingStats, assign_by_output, false_sharing_stats
+from repro.memsim.hierarchy import MemoryStats, simulate_hierarchy
+from repro.memsim.machine import CacheGeometry, MachineModel, scaled, ultrasparc_like
+from repro.memsim.synthetic import dense_standard_events, dense_strassen_events
+from repro.memsim.trace import (
+    AddressSpace,
+    Region,
+    TraceContext,
+    TraceEvent,
+    expand_trace,
+    trace_multiply,
+)
+
+__all__ = [
+    "LRUCache",
+    "miss_count",
+    "simulate_direct_mapped",
+    "simulate_lru",
+    "MissBreakdown",
+    "classify_misses",
+    "SharingStats",
+    "assign_by_output",
+    "false_sharing_stats",
+    "MemoryStats",
+    "simulate_hierarchy",
+    "CacheGeometry",
+    "MachineModel",
+    "scaled",
+    "ultrasparc_like",
+    "dense_standard_events",
+    "dense_strassen_events",
+    "AddressSpace",
+    "Region",
+    "TraceContext",
+    "TraceEvent",
+    "expand_trace",
+    "trace_multiply",
+]

@@ -1,0 +1,239 @@
+"""Synthetic trace generators for the *unpadded* canonical baseline.
+
+The recursive-layout paths are traced from the real implementation
+(:func:`repro.memsim.trace.trace_multiply`).  The canonical (L_C)
+baseline, however, operates on the caller's column-major array with
+**leading dimension exactly n** — that leading dimension is what makes
+its cache behaviour swing with n (paper Figure 5), and padding would
+collapse distinct n onto one geometry and hide the effect.  These
+generators replay the algorithms over *logical index space* with ld = n
+and no storage, splitting unevenly at tile boundaries the way a
+peeling recursive implementation does:
+
+* :func:`dense_standard_events` — the standard algorithm: recursive
+  octant splitting of the (i, j, k) iteration space down to tiles; every
+  leaf reads strided tile blocks of A, B and C with column stride n.
+
+* :func:`dense_strassen_events` — Strassen on canonical storage: the
+  pre-additions read strided quadrants (ld = n) into **fresh contiguous
+  temporaries**, the seven products recurse entirely inside those
+  temporaries (leading dimension halves every level — the paper's
+  Section 5.1 explanation of Strassen's robustness), and the
+  post-additions write strided C quadrants.
+
+Both return :class:`~repro.memsim.trace.TraceEvent` lists consumable by
+:func:`~repro.memsim.trace.expand_trace`.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.memsim.trace import Region, TraceEvent
+
+__all__ = [
+    "dense_standard_events",
+    "dense_strassen_events",
+    "blocked_canonical_events",
+]
+
+_SPACE_A, _SPACE_B, _SPACE_C = 1, 2, 3
+
+
+def _strided(space: int, ld: int, i0: int, i1: int, j0: int, j1: int) -> Region:
+    """Column-major sub-block rows [i0,i1) x cols [j0,j1) with stride ld."""
+    return Region(space, j0 * ld + i0, i1 - i0, j1 - j0, ld)
+
+
+def _split(lo: int, hi: int, tile: int) -> int:
+    """Split point of [lo, hi): half-way, rounded up to a tile boundary."""
+    mid = lo + ((hi - lo + 1) // 2)
+    rem = (mid - lo) % tile
+    if rem:
+        mid += tile - rem
+    return min(mid, hi)
+
+
+def dense_standard_events(
+    n: int, tile: int, ld: int | None = None
+) -> list[TraceEvent]:
+    """Standard-algorithm trace on an unpadded canonical matrix."""
+    if n < 1 or tile < 1:
+        raise ValueError(f"need n, tile >= 1; got {n}, {tile}")
+    ld = ld or n
+    events: list[TraceEvent] = []
+
+    def rec(i0, i1, j0, j1, k0, k1):
+        if i1 - i0 <= tile and j1 - j0 <= tile and k1 - k0 <= tile:
+            events.append(
+                TraceEvent(
+                    "mul",
+                    _strided(_SPACE_C, ld, i0, i1, j0, j1),
+                    (
+                        _strided(_SPACE_A, ld, i0, i1, k0, k1),
+                        _strided(_SPACE_B, ld, k0, k1, j0, j1),
+                    ),
+                )
+            )
+            return
+        im = _split(i0, i1, tile) if i1 - i0 > tile else i1
+        jm = _split(j0, j1, tile) if j1 - j0 > tile else j1
+        km = _split(k0, k1, tile) if k1 - k0 > tile else k1
+        iparts = [(i0, im)] + ([(im, i1)] if im < i1 else [])
+        jparts = [(j0, jm)] + ([(jm, j1)] if jm < j1 else [])
+        kparts = [(k0, km)] + ([(km, k1)] if km < k1 else [])
+        # k innermost: the accumulate-mode phase structure.
+        for (ia, ib), (ja, jb) in itertools.product(iparts, jparts):
+            for ka, kb in kparts:
+                rec(ia, ib, ja, jb, ka, kb)
+
+    rec(0, n, 0, n, 0, n)
+    return events
+
+
+def _contig(space: int, start: int, count: int) -> Region:
+    return Region(space, start, count)
+
+
+def dense_strassen_events(n: int, tile: int, depth: int | None = None) -> list[TraceEvent]:
+    """Strassen trace: strided ld=n at the top, contiguous temps below.
+
+    Like the real implementation, the recursion runs on a padded
+    ``t * 2^d`` problem, with the leaf size ``t = ceil(n / 2^d)`` chosen
+    in ``[tile, 2*tile)`` so the pad stays small and halving is always
+    even.  Only the top level touches the caller's canonical arrays
+    (leading dimension exactly n); each level below works in fresh
+    contiguous temporaries with ld halved — the Section 5.1 mechanism
+    that makes Strassen's cache behaviour insensitive to n.
+
+    Pass an explicit ``depth`` to pin the tile-grid order across a sweep
+    of n (as the paper's [1000, 1048] range does); otherwise it adapts
+    per n, which steps the leaf size at power-of-two boundaries.
+    """
+    if n < 2 * tile:
+        return dense_standard_events(n, tile)
+    if depth is None:
+        d = 0
+        while (n >> (d + 1)) >= tile:
+            d += 1
+    else:
+        d = depth
+    t_leaf = -(-n // (1 << d))  # ceil
+    size_pad = t_leaf << d
+    events: list[TraceEvent] = []
+    space_counter = itertools.count(10)
+
+    def strassen(a_space, a_ld, b_space, b_ld, c_space, c_ld, size,
+                 a_off=(0, 0), b_off=(0, 0), c_off=(0, 0)):
+        """Emit events for one Strassen level on `size` x `size` operands."""
+        if size <= t_leaf:
+            events.append(
+                TraceEvent(
+                    "mul",
+                    _strided(c_space, c_ld, c_off[0], c_off[0] + size,
+                             c_off[1], c_off[1] + size),
+                    (
+                        _strided(a_space, a_ld, a_off[0], a_off[0] + size,
+                                 a_off[1], a_off[1] + size),
+                        _strided(b_space, b_ld, b_off[0], b_off[0] + size,
+                                 b_off[1], b_off[1] + size),
+                    ),
+                )
+            )
+            return
+        half = size // 2
+
+        def sub(space, ld, off, qi, qj):
+            return _strided(
+                space, ld,
+                off[0] + qi * half, off[0] + (qi + 1) * half,
+                off[1] + qj * half, off[1] + (qj + 1) * half,
+            )
+
+        # Pre-additions: 10 temporaries, each contiguous half x half.
+        s_spaces = [next(space_counter) for _ in range(5)]
+        t_spaces = [next(space_counter) for _ in range(5)]
+        s_quads = [((0, 0), (1, 1)), ((1, 0), (1, 1)), ((0, 0), (0, 1)),
+                   ((1, 0), (0, 0)), ((0, 1), (1, 1))]
+        t_quads = [((0, 0), (1, 1)), ((0, 1), (1, 1)), ((1, 0), (0, 0)),
+                   ((0, 0), (0, 1)), ((1, 0), (1, 1))]
+        for sp, (q1, q2) in zip(s_spaces, s_quads):
+            events.append(TraceEvent(
+                "add",
+                _contig(sp, 0, half * half),
+                (sub(a_space, a_ld, a_off, *q1), sub(a_space, a_ld, a_off, *q2)),
+            ))
+        for sp, (q1, q2) in zip(t_spaces, t_quads):
+            events.append(TraceEvent(
+                "add",
+                _contig(sp, 0, half * half),
+                (sub(b_space, b_ld, b_off, *q1), sub(b_space, b_ld, b_off, *q2)),
+            ))
+        # Seven products into contiguous temporaries, recursing with ld=half.
+        p_spaces = [next(space_counter) for _ in range(7)]
+        # (operand space, ld, offset) per side; A11/A22/B11/B22 stay strided.
+        a11, a22 = a_off, (a_off[0] + half, a_off[1] + half)
+        b11, b22 = b_off, (b_off[0] + half, b_off[1] + half)
+        prods = [
+            ((s_spaces[0], half, (0, 0)), (t_spaces[0], half, (0, 0))),
+            ((s_spaces[1], half, (0, 0)), (b_space, b_ld, b11)),
+            ((a_space, a_ld, a11), (t_spaces[1], half, (0, 0))),
+            ((a_space, a_ld, a22), (t_spaces[2], half, (0, 0))),
+            ((s_spaces[2], half, (0, 0)), (b_space, b_ld, b22)),
+            ((s_spaces[3], half, (0, 0)), (t_spaces[3], half, (0, 0))),
+            ((s_spaces[4], half, (0, 0)), (t_spaces[4], half, (0, 0))),
+        ]
+        for pk, ((xs, xld, xoff), (ys, yld, yoff)) in zip(p_spaces, prods):
+            strassen(xs, xld, ys, yld, pk, half, half,
+                     a_off=xoff, b_off=yoff, c_off=(0, 0))
+        # Post-additions: strided writes into the C quadrants.
+        combos = [((0, 0), [0, 3, 4, 6]), ((1, 0), [1, 3]),
+                  ((0, 1), [2, 4]), ((1, 1), [0, 2, 1, 5])]
+        for (qi, qj), ps in combos:
+            write = sub(c_space, c_ld, c_off, qi, qj)
+            reads = tuple(_contig(p_spaces[k], 0, half * half) for k in ps)
+            events.append(TraceEvent("add", write, reads))
+
+    strassen(_SPACE_A, n, _SPACE_B, n, _SPACE_C, n, size_pad)
+    return events
+
+
+def blocked_canonical_events(n: int, tile: int) -> list[TraceEvent]:
+    """Ablation: contiguous tiles, but tile grid in *column-major* order.
+
+    Sits between the paper's two layout families: like the recursive
+    layouts, every tile is contiguous (no self-interference inside a
+    leaf); like the canonical layouts, the tile grid is ordered along
+    one axis, so quadrants are scattered and multi-scale locality is
+    lost.  Comparing this against L_Z isolates how much of the paper's
+    win comes from tiling alone versus the recursive tile order (the
+    recursive order's advantage shows up in L2/TLB reach and in the
+    parallel quadrant contiguity).
+
+    The iteration order replays the same recursive index-space splitting
+    as :func:`dense_standard_events`; only the address mapping differs.
+    """
+    if n < 1 or tile < 1:
+        raise ValueError(f"need n, tile >= 1; got {n}, {tile}")
+    side = -(-n // tile)
+    tsize = tile * tile
+
+    def tile_region(space: int, ti: int, tj: int) -> Region:
+        # Contiguous column-major tile, kept 2-D so the multiply
+        # expansion replays the kernel's per-column reuse.
+        return Region(space, (tj * side + ti) * tsize, tile, tile, tile)
+
+    events: list[TraceEvent] = []
+    for ev in dense_standard_events(side * tile, tile):
+        # dense events address a padded (side*tile)^2 matrix; remap each
+        # tile-aligned block to its contiguous blocked-layout position.
+        def remap(r: Region) -> Region:
+            ld = side * tile
+            i0 = r.start % ld
+            j0 = r.start // ld
+            return tile_region(r.space, i0 // tile, j0 // tile)
+
+        events.append(
+            TraceEvent(ev.kind, remap(ev.write), tuple(remap(r) for r in ev.reads))
+        )
+    return events

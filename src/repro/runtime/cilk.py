@@ -1,0 +1,165 @@
+"""Cilk-style runtime interface: ``spawn_all`` (spawn...sync) + cost hooks.
+
+The paper parallelizes the seven or eight recursive multiplications (and
+the pre-/post-additions) with Cilk's nested spawn/sync.  The algorithms
+in :mod:`repro.algorithms` are written against the small interface here:
+
+* ``rt.spawn_all([thunk, ...])`` — the children of one spawn...sync block;
+* ``rt.task_multiply(m, k, n)`` / ``rt.task_stream(elements)`` — cost
+  annotations emitted right where leaf multiplies and streaming
+  additions happen.
+
+Three interchangeable runtimes:
+
+:class:`SerialRuntime`
+    Executes thunks in order, ignores costs.  The "serial elision" of the
+    Cilk program — used for wall-clock benchmarks.
+
+:class:`TraceRuntime`
+    Executes *and* records a series-parallel cost tree (abstract cycles
+    from a :class:`CostModel`).  Feeds the work/span analysis and the
+    work-stealing scheduler simulation — this is how the reproduction
+    measures scalability and critical path on a 1-CPU host.
+
+:class:`ThreadRuntime`
+    Executes spawn blocks on a thread pool down to a spawn-depth cutoff
+    (numpy kernels release the GIL).  Provided for completeness; on a
+    multi-core host it yields real speedups.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import threading
+from typing import Callable, Sequence
+
+from repro.runtime.task import SPNode, leaf
+
+__all__ = ["CostModel", "Runtime", "SerialRuntime", "TraceRuntime", "ThreadRuntime"]
+
+Thunk = Callable[[], object]
+
+
+@dataclasses.dataclass(frozen=True)
+class CostModel:
+    """Abstract per-operation costs, in cycles.
+
+    ``flop`` is the cost of one multiply-add at a leaf; ``stream`` the
+    per-element cost of a streaming addition/copy (bandwidth-bound, so
+    several times a flop); ``spawn`` the bookkeeping cost Cilk charges
+    per spawned task.
+    """
+
+    flop: float = 1.0
+    stream: float = 4.0
+    spawn: float = 50.0
+
+    def multiply(self, m: int, k: int, n: int) -> float:
+        """Cost of a leaf multiply C += A.B of shape (m x k)(k x n)."""
+        return 2.0 * m * k * n * self.flop
+
+    def streamed(self, elements: int) -> float:
+        """Cost of streaming ``elements`` through the memory system."""
+        return elements * self.stream
+
+
+class Runtime:
+    """Base runtime: serial execution, costs ignored."""
+
+    def spawn_all(self, thunks: Sequence[Thunk]) -> list[object]:
+        """Execute one spawn...sync block; returns thunk results in order."""
+        return [t() for t in thunks]
+
+    def task_multiply(self, m: int, k: int, n: int) -> None:
+        """Annotate a leaf multiply that just executed."""
+
+    def task_stream(self, elements: int) -> None:
+        """Annotate a streaming pass that just executed."""
+
+
+class SerialRuntime(Runtime):
+    """Serial elision — plain depth-first execution."""
+
+
+class TraceRuntime(Runtime):
+    """Executes while recording a series-parallel cost tree."""
+
+    def __init__(self, cost_model: CostModel | None = None):
+        self.cost_model = cost_model or CostModel()
+        self.root = SPNode("series", label="root")
+        self._current = self.root
+
+    def spawn_all(self, thunks: Sequence[Thunk]) -> list[object]:
+        par = self._current.add(SPNode("parallel"))
+        results = []
+        for t in thunks:
+            child = par.add(SPNode("series"))
+            saved, self._current = self._current, child
+            if self.cost_model.spawn:
+                child.add(leaf(self.cost_model.spawn, "spawn"))
+            try:
+                results.append(t())
+            finally:
+                self._current = saved
+        return results
+
+    def task_multiply(self, m: int, k: int, n: int) -> None:
+        self._current.add(leaf(self.cost_model.multiply(m, k, n), "mul"))
+
+    def task_stream(self, elements: int) -> None:
+        self._current.add(leaf(self.cost_model.streamed(elements), "stream"))
+
+
+class ThreadRuntime(Runtime):
+    """Real threads for the top ``max_depth`` spawn levels.
+
+    numpy's BLAS calls drop the GIL, so leaf multiplies genuinely overlap
+    on multi-core hosts.  Spawn blocks deeper than ``max_depth`` run
+    serially to bound task-creation overhead (the same knob a Cilk coarse-
+    grained cutoff provides).
+
+    ``max_depth`` defaults to 1: a fixed-size thread pool cannot nest
+    blocking joins without deadlock risk (a real Cilk scheduler steals
+    the blocked continuation instead), so only the outermost spawn block
+    fans out unless the caller raises the limit knowingly with a pool
+    sized for it.
+    """
+
+    def __init__(self, n_workers: int = 4, max_depth: int = 1):
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = n_workers
+        self.max_depth = max_depth
+        self._local = threading.local()
+        self._pool = concurrent.futures.ThreadPoolExecutor(max_workers=n_workers)
+
+    def _depth(self) -> int:
+        return getattr(self._local, "depth", 0)
+
+    def _run_at_depth(self, thunk: Thunk, depth: int):
+        saved = self._depth()
+        self._local.depth = depth
+        try:
+            return thunk()
+        finally:
+            self._local.depth = saved
+
+    def spawn_all(self, thunks: Sequence[Thunk]) -> list[object]:
+        depth = self._depth()
+        if depth >= self.max_depth or len(thunks) <= 1:
+            return [t() for t in thunks]
+        futures = [
+            self._pool.submit(self._run_at_depth, t, depth + 1) for t in thunks
+        ]
+        return [f.result() for f in futures]
+
+    def shutdown(self) -> None:
+        """Release the thread pool."""
+        self._pool.shutdown()
+
+    def __enter__(self) -> "ThreadRuntime":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

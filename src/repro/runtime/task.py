@@ -1,0 +1,158 @@
+"""Series-parallel task structures for the Cilk-style runtime model.
+
+Cilk computations are fully-strict series-parallel DAGs: a ``spawn``/
+``sync`` block is a *parallel* composition of child computations, and
+sequential program order is a *series* composition.  We capture executed
+computations as an :class:`SPNode` tree whose leaves carry costs in
+abstract cycles; work (``T_1``) and span (``T_inf``) fall out of the tree
+shape, and :func:`to_dag` lowers the tree to an explicit precedence DAG
+for the work-stealing scheduler simulation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator
+
+__all__ = ["SPNode", "leaf", "series", "parallel", "work", "span", "to_dag", "DagNode"]
+
+
+@dataclasses.dataclass
+class SPNode:
+    """One node of a series-parallel cost tree."""
+
+    kind: str  # "leaf" | "series" | "parallel"
+    cost: float = 0.0  # leaves only
+    label: str = ""
+    children: list["SPNode"] = dataclasses.field(default_factory=list)
+
+    def add(self, child: "SPNode") -> "SPNode":
+        """Append a child (series/parallel nodes only) and return it."""
+        if self.kind == "leaf":
+            raise ValueError("cannot add children to a leaf")
+        self.children.append(child)
+        return child
+
+    def iter_leaves(self) -> Iterator["SPNode"]:
+        """Yield all leaf descendants in program order."""
+        if self.kind == "leaf":
+            yield self
+            return
+        for ch in self.children:
+            yield from ch.iter_leaves()
+
+    @property
+    def n_leaves(self) -> int:
+        """Number of leaf tasks in the subtree."""
+        return sum(1 for _ in self.iter_leaves())
+
+
+def leaf(cost: float, label: str = "") -> SPNode:
+    """A unit of serial work."""
+    if cost < 0:
+        raise ValueError(f"negative cost {cost}")
+    return SPNode("leaf", cost=cost, label=label)
+
+
+def series(*children: SPNode) -> SPNode:
+    """Sequential composition."""
+    return SPNode("series", children=list(children))
+
+
+def parallel(*children: SPNode) -> SPNode:
+    """Parallel (spawn/sync) composition."""
+    return SPNode("parallel", children=list(children))
+
+
+def work(node: SPNode) -> float:
+    """Total work ``T_1``: sum of all leaf costs (iterative walk)."""
+    total = 0.0
+    stack = [node]
+    while stack:
+        n = stack.pop()
+        if n.kind == "leaf":
+            total += n.cost
+        else:
+            stack.extend(n.children)
+    return total
+
+
+def span(node: SPNode) -> float:
+    """Critical-path length ``T_inf`` (post-order iterative walk)."""
+    out: dict[int, float] = {}
+    stack: list[tuple[SPNode, bool]] = [(node, False)]
+    while stack:
+        n, done = stack.pop()
+        if n.kind == "leaf":
+            out[id(n)] = n.cost
+            continue
+        if not done:
+            stack.append((n, True))
+            stack.extend((ch, False) for ch in n.children)
+            continue
+        vals = [out[id(ch)] for ch in n.children]
+        out[id(n)] = (sum(vals) if n.kind == "series" else max(vals, default=0.0))
+    return out[id(node)]
+
+
+@dataclasses.dataclass
+class DagNode:
+    """One task of the lowered precedence DAG."""
+
+    index: int
+    cost: float
+    label: str = ""
+    succs: list[int] = dataclasses.field(default_factory=list)
+    n_preds: int = 0
+
+
+def to_dag(root: SPNode) -> list[DagNode]:
+    """Lower an SP tree to a precedence DAG of its leaf tasks.
+
+    Series composition chains the *exits* of one child to the *entries*
+    of the next; parallel composition unions entries/exits.  Zero-cost
+    join nodes are inserted when a fan-in/fan-out would otherwise create
+    a quadratic number of edges.
+    """
+    nodes: list[DagNode] = []
+
+    def new_node(cost: float, label: str = "") -> int:
+        n = DagNode(len(nodes), cost, label)
+        nodes.append(n)
+        return n.index
+
+    def link(frm: list[int], to: list[int]) -> None:
+        if len(frm) > 1 and len(to) > 1:
+            j = new_node(0.0, "join")
+            link(frm, [j])
+            link([j], to)
+            return
+        for f in frm:
+            for t in to:
+                nodes[f].succs.append(t)
+                nodes[t].n_preds += 1
+
+    def build(n: SPNode) -> tuple[list[int], list[int]]:
+        if n.kind == "leaf":
+            idx = new_node(n.cost, n.label)
+            return [idx], [idx]
+        if not n.children:
+            idx = new_node(0.0, "empty")
+            return [idx], [idx]
+        if n.kind == "series":
+            entry, exit_ = build(n.children[0])
+            for ch in n.children[1:]:
+                e2, x2 = build(ch)
+                link(exit_, e2)
+                exit_ = x2
+            return entry, exit_
+        entries: list[int] = []
+        exits: list[int] = []
+        for ch in n.children:
+            e, x = build(ch)
+            entries.extend(e)
+            exits.extend(x)
+        return entries, exits
+
+    build(root)
+    return nodes

@@ -1,0 +1,21 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.layouts.registry import RECURSIVE_LAYOUTS
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "slow: long-running test")
+
+
+#: Parametrization helper reused across layout tests.
+ALL_RECURSIVE = list(RECURSIVE_LAYOUTS)
+MULTI_ORIENTATION = ["LG", "LH"]
+ALL_ALGORITHMS = ["standard", "strassen", "winograd"]

@@ -1,0 +1,88 @@
+"""Numerical accuracy study and workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.accuracy import WORKLOADS, error_growth, normwise_error
+from repro.analysis import workloads
+
+
+class TestWorkloads:
+    def test_gaussian_shape_and_determinism(self):
+        a = workloads.gaussian(10, 20, seed=3)
+        b = workloads.gaussian(10, 20, seed=3)
+        assert a.shape == (10, 20)
+        np.testing.assert_array_equal(a, b)
+
+    def test_graded_span(self):
+        a = workloads.graded(100, 10, span=6.0)
+        mags = np.abs(a).max(axis=1)
+        assert mags[-1] / mags[0] > 1e4
+
+    def test_hilbert_matrix(self):
+        h = workloads.hilbert_matrix(4)
+        assert h[0, 0] == 1.0
+        assert h[1, 2] == pytest.approx(1 / 4)
+        np.testing.assert_allclose(h, h.T)
+
+    def test_hadamard_like_entries(self):
+        a = workloads.hadamard_like(16)
+        assert set(np.unique(a)) == {-1.0, 1.0}
+
+    def test_banded_zeros(self):
+        a = workloads.banded(10, 2)
+        assert a[0, 5] == 0.0
+        assert a[0, 2] != 0.0 or a[2, 0] != 0.0
+
+    def test_lean_wide_pair(self):
+        a, b = workloads.lean_wide_pair(256, 16)
+        assert a.shape == (256, 16)
+        assert b.shape == (16, 16)
+
+
+class TestNormwiseError:
+    def test_zero_for_exact(self):
+        c = np.ones((3, 3))
+        assert normwise_error(c, c) == 0.0
+
+    def test_scales(self):
+        ref = np.eye(4)
+        c = ref + 1e-8
+        assert normwise_error(c, ref) == pytest.approx(
+            np.linalg.norm(c - ref) / np.linalg.norm(ref)
+        )
+
+    def test_zero_reference(self):
+        assert normwise_error(np.ones((2, 2)), np.zeros((2, 2))) == 0.0
+
+
+class TestErrorGrowth:
+    def test_monotone_growth_with_fast_levels(self):
+        rows = error_growth(n=64, tile=8, workload="gaussian")
+        errs = [r["rel_error"] for r in rows]
+        assert errs[0] < 1e-14  # standard algorithm is near machine eps
+        # Each Strassen level multiplies the error bound by a constant;
+        # require overall growth and rough monotonicity.
+        assert errs[-1] > 2 * errs[0]
+        assert all(e2 > 0.8 * e1 for e1, e2 in zip(errs, errs[1:]))
+
+    def test_flops_fall_as_levels_rise(self):
+        rows = error_growth(n=64, tile=8, workload="gaussian")
+        flops = [r["multiply_flops"] for r in rows]
+        assert all(f2 < f1 for f1, f2 in zip(flops, flops[1:]))
+
+    def test_winograd_variant(self):
+        rows = error_growth(n=32, tile=8, workload="gaussian", fast="winograd")
+        assert rows[-1]["rel_error"] >= rows[0]["rel_error"]
+
+    def test_hadamard_standard_is_exact(self):
+        rows = error_growth(n=32, tile=8, workload="hadamard", levels=[0])
+        # ±1 products with n=32 accumulate exactly in double precision.
+        assert rows[0]["rel_error"] == 0.0
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            error_growth(workload="adversarial")
+
+    def test_registry(self):
+        assert {"gaussian", "graded", "hadamard"} <= set(WORKLOADS)

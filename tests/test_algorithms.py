@@ -1,0 +1,186 @@
+"""Correctness of the three recursive multiplication algorithms
+across every layout, storage family, and calling mode."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.recursion import Context, combine
+from repro.algorithms.standard import standard_multiply
+from repro.algorithms.strassen import strassen_multiply
+from repro.algorithms.winograd import winograd_multiply
+from repro.matrix.convert import from_tiled, to_dense_padded, to_tiled
+from repro.matrix.tile import Tiling, select_matmul_tiling, TileRange
+from repro.matrix.tiledmatrix import DenseMatrix, TiledMatrix
+from tests.conftest import ALL_ALGORITHMS, ALL_RECURSIVE
+
+ALGO_FNS = {
+    "standard": standard_multiply,
+    "strassen": strassen_multiply,
+    "winograd": winograd_multiply,
+}
+
+
+def _run_tiled(algo, curve, a, b, tiling_a, tiling_b, tiling_c, **kw):
+    ta = to_tiled(a, curve, tiling_a)
+    tb = to_tiled(b, curve, tiling_b)
+    tc = TiledMatrix.zeros(curve, tiling_c.d, tiling_c.t_r, tiling_c.t_c,
+                           tiling_c.m, tiling_c.n)
+    ALGO_FNS[algo](tc.root_view(), ta.root_view(), tb.root_view(), **kw)
+    return from_tiled(tc)
+
+
+@pytest.mark.parametrize("algo", ALL_ALGORITHMS)
+@pytest.mark.parametrize("curve", ALL_RECURSIVE)
+class TestTiledCorrectness:
+    def test_square(self, algo, curve, rng):
+        n = 32
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        t = Tiling(2, 8, 8, n, n)
+        got = _run_tiled(algo, curve, a, b, t, t, t)
+        np.testing.assert_allclose(got, a @ b, atol=1e-10)
+
+    def test_rectangular_with_padding(self, algo, curve, rng):
+        m, k, n = 30, 44, 52
+        a = rng.standard_normal((m, k))
+        b = rng.standard_normal((k, n))
+        mt = select_matmul_tiling(m, k, n, TileRange(4, 8))
+        got = _run_tiled(
+            algo, curve, a, b, mt.tiling_a(), mt.tiling_b(), mt.tiling_c()
+        )
+        np.testing.assert_allclose(got, a @ b, atol=1e-10)
+
+    def test_accumulate_semantics(self, algo, curve, rng):
+        n = 16
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        c0 = rng.standard_normal((n, n))
+        t = Tiling(2, 4, 4, n, n)
+        ta, tb = to_tiled(a, curve, t), to_tiled(b, curve, t)
+        tc = to_tiled(c0, curve, t)
+        ALGO_FNS[algo](tc.root_view(), ta.root_view(), tb.root_view(),
+                       accumulate=True)
+        np.testing.assert_allclose(from_tiled(tc), c0 + a @ b, atol=1e-10)
+
+    def test_overwrite_semantics(self, algo, curve, rng):
+        n = 16
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        c0 = rng.standard_normal((n, n))
+        t = Tiling(2, 4, 4, n, n)
+        ta, tb = to_tiled(a, curve, t), to_tiled(b, curve, t)
+        tc = to_tiled(c0, curve, t)
+        ALGO_FNS[algo](tc.root_view(), ta.root_view(), tb.root_view(),
+                       accumulate=False)
+        np.testing.assert_allclose(from_tiled(tc), a @ b, atol=1e-10)
+
+    def test_single_tile_leaf(self, algo, curve, rng):
+        # d = 0: the recursion is just one leaf multiply.
+        n = 8
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        t = Tiling(0, 8, 8, n, n)
+        got = _run_tiled(algo, curve, a, b, t, t, t)
+        np.testing.assert_allclose(got, a @ b, atol=1e-10)
+
+
+@pytest.mark.parametrize("algo", ALL_ALGORITHMS)
+class TestDenseCorrectness:
+    def test_canonical_baseline(self, algo, rng):
+        n = 32
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        t = Tiling(2, 8, 8, n, n)
+        da = to_dense_padded(a, t)
+        db = to_dense_padded(b, t)
+        dc = DenseMatrix.zeros(2, 8, 8, n, n)
+        ALGO_FNS[algo](dc.root_view(), da.root_view(), db.root_view())
+        np.testing.assert_allclose(dc.array[:n, :n], a @ b, atol=1e-10)
+
+    def test_padded_dense(self, algo, rng):
+        m, k, n = 20, 28, 24
+        a = rng.standard_normal((m, k))
+        b = rng.standard_normal((k, n))
+        mt = select_matmul_tiling(m, k, n, TileRange(4, 8))
+        da = to_dense_padded(a, mt.tiling_a())
+        db = to_dense_padded(b, mt.tiling_b())
+        tc = mt.tiling_c()
+        dc = DenseMatrix.zeros(tc.d, tc.t_r, tc.t_c, m, n)
+        ALGO_FNS[algo](dc.root_view(), da.root_view(), db.root_view())
+        np.testing.assert_allclose(dc.array[:m, :n], a @ b, atol=1e-10)
+
+
+class TestStandardModes:
+    def test_temps_mode_matches(self, rng):
+        n = 32
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        t = Tiling(2, 8, 8, n, n)
+        acc = _run_tiled("standard", "LZ", a, b, t, t, t, mode="accumulate")
+        tmp = _run_tiled("standard", "LZ", a, b, t, t, t, mode="temps")
+        np.testing.assert_allclose(acc, tmp, atol=1e-12)
+        np.testing.assert_allclose(acc, a @ b, atol=1e-10)
+
+    def test_temps_mode_accumulate_flag(self, rng):
+        n = 16
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        c0 = rng.standard_normal((n, n))
+        t = Tiling(1, 8, 8, n, n)
+        ta, tb, tc = (to_tiled(x, "LG", t) for x in (a, b, c0))
+        standard_multiply(tc.root_view(), ta.root_view(), tb.root_view(),
+                          mode="temps", accumulate=True)
+        np.testing.assert_allclose(from_tiled(tc), c0 + a @ b, atol=1e-10)
+
+    def test_unknown_mode(self, rng):
+        t = TiledMatrix.zeros("LZ", 1, 4, 4)
+        with pytest.raises(ValueError):
+            standard_multiply(t.root_view(), t.root_view(), t.root_view(),
+                              mode="bogus")
+
+
+class TestFastAlgorithmsIdentity:
+    """Strassen and Winograd must agree with standard bit-for-shape."""
+
+    @pytest.mark.parametrize("algo", ["strassen", "winograd"])
+    def test_matches_standard_deeply(self, algo, rng):
+        n = 64
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        t = Tiling(3, 8, 8, n, n)
+        std = _run_tiled("standard", "LZ", a, b, t, t, t)
+        fast = _run_tiled(algo, "LZ", a, b, t, t, t)
+        np.testing.assert_allclose(fast, std, atol=1e-8)
+
+
+class TestCombine:
+    def test_first_sign_must_be_positive(self, rng):
+        t = TiledMatrix.zeros("LZ", 1, 4, 4)
+        v = t.root_view()
+        with pytest.raises(ValueError):
+            combine(Context(), v, [v], [-1], accumulate=False)
+
+    def test_length_mismatch(self):
+        t = TiledMatrix.zeros("LZ", 1, 4, 4)
+        v = t.root_view()
+        with pytest.raises(ValueError):
+            combine(Context(), v, [v], [1, 1], accumulate=False)
+
+    def test_single_term_copy(self, rng):
+        a = rng.standard_normal((8, 8))
+        src = to_tiled(a, "LZ", Tiling(1, 4, 4, 8, 8))
+        dst = TiledMatrix.zeros("LZ", 1, 4, 4)
+        combine(Context(), dst.root_view(), [src.root_view()], [1],
+                accumulate=False)
+        np.testing.assert_allclose(from_tiled(dst)[:8, :8], a)
+
+    def test_signed_chain(self, rng):
+        mats = [to_tiled(rng.standard_normal((8, 8)), "LZ", Tiling(1, 4, 4, 8, 8))
+                for _ in range(4)]
+        dst = TiledMatrix.zeros("LZ", 1, 4, 4)
+        views = [m.root_view() for m in mats]
+        combine(Context(), dst.root_view(), views, [1, -1, 1, -1],
+                accumulate=False)
+        expect = (from_tiled(mats[0]) - from_tiled(mats[1])
+                  + from_tiled(mats[2]) - from_tiled(mats[3]))
+        np.testing.assert_allclose(from_tiled(dst), expect, atol=1e-12)

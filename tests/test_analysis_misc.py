@@ -1,0 +1,91 @@
+"""Timing helpers, report formatting edge cases, misc analysis pieces."""
+
+import time
+
+import pytest
+
+from repro.analysis.report import _fmt, ascii_plot, format_table
+from repro.analysis.timing import Measurement, measure
+
+
+class TestMeasure:
+    def test_median_of_repeats(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+            time.sleep(0.001)
+
+        m = measure(fn, repeats=3, warmup=2)
+        assert len(calls) == 5
+        assert m.repeats == 3
+        assert m.best <= m.median <= m.worst
+        assert m.median >= 0.001
+
+    def test_no_warmup(self):
+        calls = []
+        measure(lambda: calls.append(1), repeats=1, warmup=0)
+        assert len(calls) == 1
+
+    def test_invalid_repeats(self):
+        with pytest.raises(ValueError):
+            measure(lambda: None, repeats=0)
+
+    def test_str(self):
+        m = Measurement(0.5, 0.4, 0.6, 3)
+        assert "0.5" in str(m)
+
+
+class TestFormatting:
+    def test_fmt_zero(self):
+        assert _fmt(0.0) == "0"
+
+    def test_fmt_small(self):
+        assert "e" in _fmt(1.5e-7)
+
+    def test_fmt_large(self):
+        assert "e" in _fmt(3.2e9)
+
+    def test_fmt_midrange(self):
+        assert _fmt(3.14159) == "3.142"
+
+    def test_fmt_non_numeric(self):
+        assert _fmt("abc") == "abc"
+        assert _fmt(42) == "42"
+
+    def test_table_alignment(self):
+        out = format_table(["col", "x"], [["a", 1], ["bbbb", 22]])
+        lines = out.splitlines()
+        widths = {len(ln) for ln in lines}
+        assert len(widths) == 1  # all rows equal width
+
+    def test_table_title(self):
+        out = format_table(["a"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_plot_nan_skipped(self):
+        out = ascii_plot({"s": [1.0, float("nan"), 3.0]})
+        assert "*=s" in out
+
+    def test_plot_all_nan(self):
+        assert ascii_plot({"s": [float("nan")]}) == "(no data)"
+
+    def test_plot_many_series_glyphs(self):
+        series = {f"s{i}": [float(i), float(i + 1)] for i in range(6)}
+        out = ascii_plot(series)
+        for g in "*o+x#@":
+            assert f"{g}=s" in out
+
+    def test_plot_wide_input_downsamples(self):
+        out = ascii_plot({"s": list(range(500))}, width=40)
+        # Plot body must not exceed requested width (+ margin).
+        body = [ln for ln in out.splitlines() if "|" in ln]
+        assert all(len(ln) <= 11 + 40 for ln in body)
+
+
+class TestCostModelDefaults:
+    def test_stream_dearer_than_flop(self):
+        from repro.runtime.cilk import CostModel
+
+        cm = CostModel()
+        assert cm.stream > cm.flop  # bandwidth-bound adds

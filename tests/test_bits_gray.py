@@ -1,0 +1,63 @@
+"""Unit tests for Gray-code encode/decode."""
+
+import numpy as np
+import pytest
+
+from repro.bits.gray import (
+    gray_decode,
+    gray_decode_scalar,
+    gray_encode,
+    gray_encode_scalar,
+)
+
+
+class TestScalar:
+    def test_known_values(self):
+        # Classic 3-bit reflected Gray sequence.
+        expected = [0b000, 0b001, 0b011, 0b010, 0b110, 0b111, 0b101, 0b100]
+        assert [gray_encode_scalar(i) for i in range(8)] == expected
+
+    def test_adjacent_codes_differ_in_one_bit(self):
+        for i in range(1023):
+            diff = gray_encode_scalar(i) ^ gray_encode_scalar(i + 1)
+            assert diff and (diff & (diff - 1)) == 0
+
+    def test_decode_inverts_encode(self):
+        for i in list(range(2048)) + [2**40 + 12345]:
+            assert gray_decode_scalar(gray_encode_scalar(i)) == i
+
+    def test_encode_inverts_decode(self):
+        for g in range(2048):
+            assert gray_encode_scalar(gray_decode_scalar(g)) == g
+
+    def test_zero(self):
+        assert gray_encode_scalar(0) == 0
+        assert gray_decode_scalar(0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gray_encode_scalar(-1)
+        with pytest.raises(ValueError):
+            gray_decode_scalar(-1)
+
+
+class TestVectorized:
+    def test_matches_scalar(self):
+        xs = np.arange(4096, dtype=np.uint64)
+        enc = gray_encode(xs)
+        for x, g in zip(xs[::97], enc[::97]):
+            assert gray_encode_scalar(int(x)) == int(g)
+
+    def test_roundtrip(self, rng):
+        xs = rng.integers(0, 2**50, size=2000).astype(np.uint64)
+        np.testing.assert_array_equal(gray_decode(gray_encode(xs)), xs)
+
+    def test_bijective_on_range(self):
+        xs = np.arange(1 << 12, dtype=np.uint64)
+        enc = gray_encode(xs)
+        assert len(np.unique(enc)) == len(xs)
+        assert enc.max() == len(xs) - 1  # permutation of the same range
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            gray_encode(np.array([-3]))

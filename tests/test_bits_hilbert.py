@@ -1,0 +1,135 @@
+"""Unit tests for the Hilbert-curve FSM (Bially construction)."""
+
+import numpy as np
+import pytest
+
+from repro.bits.hilbert import (
+    HILBERT_CHILD,
+    HILBERT_INV,
+    HILBERT_INV_CHILD,
+    HILBERT_RANK,
+    N_STATES,
+    hilbert_s,
+    hilbert_s_inv,
+    hilbert_s_inv_scalar,
+    hilbert_s_scalar,
+)
+
+
+def _wiki_xy2d(order: int, x: int, y: int) -> int:
+    """Independent reference: Wikipedia's rotation-based algorithm."""
+    rx = ry = 0
+    d = 0
+    s = (1 << order) // 2
+    while s > 0:
+        rx = 1 if (x & s) > 0 else 0
+        ry = 1 if (y & s) > 0 else 0
+        d += s * s * ((3 * rx) ^ ry)
+        if ry == 0:
+            if rx == 1:
+                x = s - 1 - x
+                y = s - 1 - y
+            x, y = y, x
+        s //= 2
+    return d
+
+
+class TestFSMTables:
+    def test_four_states(self):
+        # The paper classifies Hilbert as the four-orientation layout.
+        assert N_STATES == 4
+
+    def test_rank_rows_are_permutations(self):
+        for s in range(N_STATES):
+            assert sorted(HILBERT_RANK[s].ravel().tolist()) == [0, 1, 2, 3]
+
+    def test_children_valid(self):
+        assert HILBERT_CHILD.min() >= 0
+        assert HILBERT_CHILD.max() < N_STATES
+
+    def test_inverse_tables_consistent(self):
+        for s in range(N_STATES):
+            for bx in (0, 1):
+                for by in (0, 1):
+                    d = HILBERT_RANK[s, bx, by]
+                    assert tuple(HILBERT_INV[s, d]) == (bx, by)
+                    assert HILBERT_INV_CHILD[s, d] == HILBERT_CHILD[s, bx, by]
+
+
+class TestScalar:
+    @pytest.mark.parametrize("order", [1, 2, 3, 4, 5])
+    def test_matches_rotation_reference(self, order):
+        side = 1 << order
+        for i in range(side):
+            for j in range(side):
+                assert hilbert_s_scalar(i, j, order) == _wiki_xy2d(order, j, i)
+
+    @pytest.mark.parametrize("order", [1, 2, 3, 4])
+    def test_bijection_and_inverse(self, order):
+        side = 1 << order
+        seen = set()
+        for i in range(side):
+            for j in range(side):
+                s = hilbert_s_scalar(i, j, order)
+                assert hilbert_s_inv_scalar(s, order) == (i, j)
+                seen.add(s)
+        assert seen == set(range(side * side))
+
+    def test_starts_at_origin(self):
+        for order in range(1, 8):
+            assert hilbert_s_scalar(0, 0, order) == 0
+
+    @pytest.mark.parametrize("order", [2, 3, 4, 5])
+    def test_unit_steps(self, order):
+        # The defining Hilbert property: successive positions are grid
+        # neighbours (no dilation jumps at any scale).
+        side = 1 << order
+        prev = None
+        for s in range(side * side):
+            i, j = hilbert_s_inv_scalar(s, order)
+            if prev is not None:
+                assert abs(i - prev[0]) + abs(j - prev[1]) == 1
+            prev = (i, j)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            hilbert_s_scalar(4, 0, 2)
+        with pytest.raises(ValueError):
+            hilbert_s_inv_scalar(16, 2)
+        with pytest.raises(ValueError):
+            hilbert_s_scalar(0, 0, -1)
+
+    def test_order_zero(self):
+        assert hilbert_s_scalar(0, 0, 0) == 0
+        assert hilbert_s_inv_scalar(0, 0) == (0, 0)
+
+
+class TestVectorized:
+    @pytest.mark.parametrize("order", [1, 3, 5, 8])
+    def test_matches_scalar(self, order, rng):
+        side = 1 << order
+        i = rng.integers(0, side, size=300)
+        j = rng.integers(0, side, size=300)
+        s = hilbert_s(i, j, order)
+        for ii, jj, ss in zip(i, j, s):
+            assert hilbert_s_scalar(int(ii), int(jj), order) == int(ss)
+
+    @pytest.mark.parametrize("order", [1, 4, 10])
+    def test_roundtrip(self, order, rng):
+        side = 1 << order
+        i = rng.integers(0, side, size=500).astype(np.uint64)
+        j = rng.integers(0, side, size=500).astype(np.uint64)
+        s = hilbert_s(i, j, order)
+        i2, j2 = hilbert_s_inv(s, order)
+        np.testing.assert_array_equal(i2, i)
+        np.testing.assert_array_equal(j2, j)
+
+    def test_large_order(self):
+        # 2^20 x 2^20 grid: exercises the uint64 paths.
+        order = 20
+        i = np.array([0, (1 << order) - 1], dtype=np.uint64)
+        j = np.array([0, (1 << order) - 1], dtype=np.uint64)
+        s = hilbert_s(i, j, order)
+        i2, j2 = hilbert_s_inv(s, order)
+        np.testing.assert_array_equal(i2, i)
+        np.testing.assert_array_equal(j2, j)

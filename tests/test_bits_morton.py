@@ -1,0 +1,98 @@
+"""Unit tests for bit interleaving (the paper's ⋈ operator)."""
+
+import numpy as np
+import pytest
+
+from repro.bits.morton import (
+    compact,
+    compact_scalar,
+    deinterleave,
+    deinterleave_scalar,
+    interleave,
+    interleave_scalar,
+    spread,
+    spread_scalar,
+)
+
+
+class TestScalarSpreadCompact:
+    def test_spread_known(self):
+        assert spread_scalar(0b1) == 0b1
+        assert spread_scalar(0b11) == 0b101
+        assert spread_scalar(0b101) == 0b10001
+
+    def test_compact_inverts_spread(self):
+        for x in list(range(256)) + [2**32 - 1, 12345678]:
+            assert compact_scalar(spread_scalar(x)) == x
+
+    def test_spread_out_of_range(self):
+        with pytest.raises(ValueError):
+            spread_scalar(1 << 32)
+        with pytest.raises(ValueError):
+            spread_scalar(-1)
+
+
+class TestScalarInterleave:
+    def test_first_operand_high(self):
+        # u ⋈ v puts u's bits in the odd (higher) positions of each pair.
+        assert interleave_scalar(1, 0) == 0b10
+        assert interleave_scalar(0, 1) == 0b01
+        assert interleave_scalar(0b11, 0b00) == 0b1010
+
+    def test_paper_definition(self):
+        # u ⋈ v = u_{d-1} v_{d-1} ... u_0 v_0 bit pattern.
+        u, v = 0b101, 0b011
+        assert interleave_scalar(u, v) == 0b10_01_11
+
+    def test_roundtrip(self):
+        for u in range(0, 300, 7):
+            for v in range(0, 300, 11):
+                w = interleave_scalar(u, v)
+                assert deinterleave_scalar(w) == (u, v)
+
+    def test_max_operands(self):
+        big = 2**32 - 1
+        w = interleave_scalar(big, big)
+        assert w == 2**64 - 1
+        assert deinterleave_scalar(w) == (big, big)
+
+
+class TestVectorized:
+    def test_matches_scalar(self, rng):
+        u = rng.integers(0, 2**20, size=500).astype(np.uint64)
+        v = rng.integers(0, 2**20, size=500).astype(np.uint64)
+        w = interleave(u, v)
+        for uu, vv, ww in zip(u[:50], v[:50], w[:50]):
+            assert interleave_scalar(int(uu), int(vv)) == int(ww)
+
+    def test_roundtrip(self, rng):
+        u = rng.integers(0, 2**30, size=1000).astype(np.uint64)
+        v = rng.integers(0, 2**30, size=1000).astype(np.uint64)
+        uu, vv = deinterleave(interleave(u, v))
+        np.testing.assert_array_equal(uu, u)
+        np.testing.assert_array_equal(vv, v)
+
+    def test_spread_compact_roundtrip(self, rng):
+        x = rng.integers(0, 2**32, size=1000).astype(np.uint64)
+        np.testing.assert_array_equal(compact(spread(x)), x)
+
+    def test_accepts_signed_nonnegative(self):
+        u = np.arange(10, dtype=np.int64)
+        v = np.arange(10, dtype=np.int64)
+        w = interleave(u, v)
+        assert w.dtype == np.uint64
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            interleave(np.array([-1]), np.array([0]))
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            spread(np.array([1.5]))
+
+    def test_interleave_is_monotone_per_operand(self):
+        # Fixing one operand, the interleave is strictly increasing in the other.
+        v = np.uint64(13)
+        us = np.arange(100, dtype=np.uint64)
+        ws = interleave(us, np.full(100, v, dtype=np.uint64))
+        assert (np.diff(ws.astype(np.int64)) > 0).all()

@@ -1,0 +1,92 @@
+"""Unit tests for repro.bits.util."""
+
+import numpy as np
+import pytest
+
+from repro.bits.util import bit_reverse, ceil_div, ilog2, is_pow2, mask, next_pow2
+
+
+class TestIsPow2:
+    def test_powers(self):
+        for k in range(20):
+            assert is_pow2(1 << k)
+
+    def test_non_powers(self):
+        for x in (3, 5, 6, 7, 9, 12, 100, 1000):
+            assert not is_pow2(x)
+
+    def test_zero_and_negative(self):
+        assert not is_pow2(0)
+        assert not is_pow2(-4)
+
+
+class TestNextPow2:
+    def test_exact(self):
+        assert next_pow2(8) == 8
+        assert next_pow2(1) == 1
+
+    def test_round_up(self):
+        assert next_pow2(9) == 16
+        assert next_pow2(1000) == 1024
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            next_pow2(0)
+
+
+class TestIlog2:
+    def test_values(self):
+        for k in range(30):
+            assert ilog2(1 << k) == k
+
+    def test_non_power_rejected(self):
+        with pytest.raises(ValueError):
+            ilog2(6)
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(12, 4) == 3
+
+    def test_rounds_up(self):
+        assert ceil_div(13, 4) == 4
+        assert ceil_div(1, 100) == 1
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 5) == 0
+
+    def test_invalid_denominator(self):
+        with pytest.raises(ValueError):
+            ceil_div(3, 0)
+
+
+class TestMask:
+    def test_values(self):
+        assert mask(0) == 0
+        assert mask(3) == 0b111
+        assert mask(10) == 1023
+
+    def test_negative(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+
+class TestBitReverse:
+    def test_scalar(self):
+        assert bit_reverse(0b001, 3) == 0b100
+        assert bit_reverse(0b110, 3) == 0b011
+        assert bit_reverse(0, 8) == 0
+
+    def test_involution(self):
+        for x in range(64):
+            assert bit_reverse(bit_reverse(x, 6), 6) == x
+
+    def test_array(self):
+        xs = np.arange(16, dtype=np.uint64)
+        rev = bit_reverse(xs, 4)
+        for x, r in zip(xs, rev):
+            assert bit_reverse(int(x), 4) == int(r)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            bit_reverse(1, 64)

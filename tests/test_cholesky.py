@@ -1,0 +1,127 @@
+"""Recursive Cholesky / TRSM over recursive layouts (Gustavson extension)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.cholesky import (
+    cholesky,
+    cholesky_views,
+    trsm_right_lower_transposed,
+)
+from repro.algorithms.recursion import Context
+from repro.matrix import TileRange, Tiling, to_tiled
+from repro.matrix.quadrant import transpose_view
+from repro.matrix.tiledmatrix import TiledMatrix
+from tests.conftest import ALL_RECURSIVE
+
+
+def _spd(rng, n):
+    x = rng.standard_normal((n, n))
+    return x @ x.T + n * np.eye(n)
+
+
+class TestCholeskyDense:
+    @pytest.mark.parametrize("curve", ALL_RECURSIVE)
+    def test_matches_numpy(self, curve, rng):
+        a = _spd(rng, 64)
+        L = cholesky(a, layout=curve, trange=TileRange(8, 16))
+        np.testing.assert_allclose(L, np.linalg.cholesky(a), atol=1e-8)
+
+    def test_reconstruction(self, rng):
+        a = _spd(rng, 48)
+        L = cholesky(a, trange=TileRange(8, 16))
+        np.testing.assert_allclose(L @ L.T, a, atol=1e-8)
+
+    def test_padded_sizes(self, rng):
+        # Non-power-of-two: identity padding must keep the pad inert.
+        for n in (33, 50, 100):
+            a = _spd(rng, n)
+            L = cholesky(a, trange=TileRange(8, 16))
+            np.testing.assert_allclose(L, np.linalg.cholesky(a), atol=1e-7)
+
+    def test_result_is_lower_triangular(self, rng):
+        a = _spd(rng, 40)
+        L = cholesky(a, trange=TileRange(8, 16))
+        assert np.allclose(np.triu(L, 1), 0.0)
+
+    def test_rejects_non_square(self, rng):
+        with pytest.raises(ValueError):
+            cholesky(rng.standard_normal((4, 6)))
+
+    def test_single_tile(self, rng):
+        a = _spd(rng, 12)
+        L = cholesky(a, trange=TileRange(8, 16))
+        np.testing.assert_allclose(L, np.linalg.cholesky(a), atol=1e-10)
+
+
+class TestCholeskyViews:
+    @pytest.mark.parametrize("curve", ["LZ", "LG", "LH"])
+    def test_in_place_on_views(self, curve, rng):
+        n = 32
+        a = _spd(rng, n)
+        tm = to_tiled(a, curve, Tiling(2, 8, 8, n, n))
+        cholesky_views(tm.root_view())
+        got = np.tril(tm.root_view().to_array())
+        np.testing.assert_allclose(got, np.linalg.cholesky(a), atol=1e-8)
+
+    def test_with_context(self, rng):
+        from repro.runtime import TraceRuntime, work
+
+        n = 32
+        a = _spd(rng, n)
+        tm = to_tiled(a, "LZ", Tiling(2, 8, 8, n, n))
+        rt = TraceRuntime()
+        cholesky_views(tm.root_view(), Context(rt))
+        assert work(rt.root) > 0
+
+
+class TestTrsm:
+    @pytest.mark.parametrize("curve", ["LZ", "LG", "LH"])
+    def test_solves(self, curve, rng):
+        n = 32
+        spd = _spd(rng, n)
+        l_dense = np.linalg.cholesky(spd)
+        b_dense = rng.standard_normal((n, n))
+        t = Tiling(2, 8, 8, n, n)
+        # L stored with upper garbage cleared (as from a factorization).
+        lm = to_tiled(l_dense, curve, t)
+        bm = to_tiled(b_dense, curve, t)
+        trsm_right_lower_transposed(bm.root_view(), lm.root_view())
+        got = bm.root_view().to_array()[:n, :n]
+        np.testing.assert_allclose(got @ l_dense.T, b_dense, atol=1e-8)
+
+    def test_leaf_case(self, rng):
+        n = 8
+        l_dense = np.linalg.cholesky(_spd(rng, n))
+        b_dense = rng.standard_normal((n, n))
+        t = Tiling(0, 8, 8, n, n)
+        lm = to_tiled(l_dense, "LZ", t)
+        bm = to_tiled(b_dense, "LZ", t)
+        trsm_right_lower_transposed(bm.root_view(), lm.root_view())
+        np.testing.assert_allclose(
+            bm.root_view().to_array() @ l_dense.T, b_dense, atol=1e-9
+        )
+
+
+class TestTransposeView:
+    @pytest.mark.parametrize("curve", ALL_RECURSIVE)
+    def test_quadrant_transpose(self, curve, rng):
+        a = rng.standard_normal((32, 32))
+        tm = to_tiled(a, curve, Tiling(2, 8, 8, 32, 32))
+        q = tm.root_view().quadrant(1, 1)
+        tv = transpose_view(q)
+        np.testing.assert_allclose(tv.to_array(), a[16:, 16:].T)
+        assert tv.orientation == 0
+
+    def test_rejects_rectangular_tiles(self):
+        tm = TiledMatrix.zeros("LZ", 1, 4, 6)
+        with pytest.raises(ValueError):
+            transpose_view(tm.root_view())
+
+    def test_dense_view(self, rng):
+        from repro.matrix.tiledmatrix import DenseMatrix
+
+        dm = DenseMatrix.zeros(1, 4, 4)
+        dm.array[...] = rng.standard_normal((8, 8))
+        tv = transpose_view(dm.root_view())
+        np.testing.assert_array_equal(tv.array, dm.array.T)

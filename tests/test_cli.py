@@ -1,0 +1,95 @@
+"""The ``python -m repro`` experiment CLI."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        subparsers = next(
+            a for a in parser._actions if isinstance(a.choices, dict)
+        )
+        assert set(subparsers.choices) == {
+            "fig1", "fig2", "fig4", "fig5", "fig6", "fig6sim", "fig7",
+            "critical", "scaling", "sharing", "conversion", "gemm",
+            "accuracy", "verify",
+        }
+
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestFastCommands:
+    def test_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "winograd" in out and "(0, 7)" in out
+
+    def test_fig2(self, capsys):
+        assert main(["fig2", "--order", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "--- LH ---" in out
+        assert "Dilation" in out
+
+    def test_critical(self, capsys):
+        assert main(["critical", "--n", "256", "--tile", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "parallelism" in out
+
+    def test_scaling(self, capsys):
+        assert main(["scaling", "--n", "64", "--procs", "1", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "steals" in out
+
+    def test_sharing(self, capsys):
+        assert main(["sharing", "--n", "61"]) == 0
+        out = capsys.readouterr().out
+        assert "LC false" in out
+
+    def test_gemm(self, capsys):
+        assert main([
+            "gemm", "--m", "40", "--k", "30", "--n", "50",
+            "--algorithm", "strassen", "--layout", "LG",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "max |err|" in out
+        assert "strassen / LG" in out
+
+    def test_verify(self, capsys):
+        assert main(["verify"]) == 0
+        out = capsys.readouterr().out
+        assert "configurations passed" in out
+
+    def test_conversion(self, capsys):
+        assert main(["conversion", "--n", "64"]) == 0
+        assert "fraction" in capsys.readouterr().out
+
+    def test_fig7_small(self, capsys):
+        assert main(["fig7", "--n", "32", "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "unrolled" in out
+
+
+class TestSlowerCommands:
+    @pytest.mark.slow
+    def test_fig5_small(self, capsys):
+        assert main(["fig5", "--start", "60", "--stop", "68", "--step", "4",
+                     "--tile", "8"]) == 0
+        assert "standard_LC" in capsys.readouterr().out
+
+    @pytest.mark.slow
+    def test_fig6sim_small(self, capsys):
+        assert main(["fig6sim", "--n", "64", "--tile", "8"]) == 0
+        assert "vs LC" in capsys.readouterr().out
+
+    def test_fig4_small(self, capsys):
+        assert main(["fig4", "--n", "32", "--tiles", "8", "16",
+                     "--repeats", "1"]) == 0
+        assert "slowdown" in capsys.readouterr().out
+
+    def test_fig6_small(self, capsys):
+        assert main(["fig6", "--n", "48", "--repeats", "1"]) == 0
+        assert "p=4" in capsys.readouterr().out

@@ -1,0 +1,104 @@
+"""Layout conversion with fused transposition and cost accounting."""
+
+import numpy as np
+import pytest
+
+from repro.matrix.convert import ConversionStats, from_tiled, to_dense_padded, to_tiled
+from repro.matrix.tile import Tiling, select_tiling, TileRange
+from tests.conftest import ALL_RECURSIVE
+
+
+@pytest.mark.parametrize("curve", ALL_RECURSIVE)
+class TestRoundtrip:
+    def test_exact_roundtrip(self, curve, rng):
+        a = rng.standard_normal((37, 53))
+        t = select_tiling(37, 53, TileRange(4, 8))
+        tm = to_tiled(a, curve, t)
+        np.testing.assert_array_equal(from_tiled(tm), a)
+
+    def test_padding_is_zero(self, curve, rng):
+        a = rng.standard_normal((10, 10))
+        t = Tiling(2, 3, 3, 10, 10)
+        tm = to_tiled(a, curve, t)
+        full = tm.root_view().to_array()
+        assert (full[10:, :] == 0).all()
+        assert (full[:, 10:] == 0).all()
+
+    def test_fused_transpose(self, curve, rng):
+        a = rng.standard_normal((20, 30))
+        t = select_tiling(30, 20, TileRange(4, 8))
+        tm = to_tiled(a, curve, t, transpose=True)
+        np.testing.assert_array_equal(from_tiled(tm), a.T)
+
+    def test_methods_agree(self, curve, rng):
+        a = rng.standard_normal((24, 24))
+        t = Tiling(2, 6, 6, 24, 24)
+        g = to_tiled(a, curve, t, method="gather")
+        s = to_tiled(a, curve, t, method="tiles")
+        np.testing.assert_array_equal(g.buf, s.buf)
+
+
+class TestValidation:
+    def test_shape_mismatch(self, rng):
+        a = rng.standard_normal((5, 6))
+        with pytest.raises(ValueError):
+            to_tiled(a, "LZ", Tiling(1, 4, 4, 6, 5))
+
+    def test_unknown_method(self, rng):
+        a = rng.standard_normal((8, 8))
+        with pytest.raises(ValueError):
+            to_tiled(a, "LZ", Tiling(1, 4, 4, 8, 8), method="wat")
+
+    def test_dtype_override(self, rng):
+        a = rng.standard_normal((8, 8))
+        tm = to_tiled(a, "LZ", Tiling(1, 4, 4, 8, 8), dtype=np.float32)
+        assert tm.dtype == np.float32
+
+
+class TestStats:
+    def test_accounting(self, rng):
+        a = rng.standard_normal((16, 16))
+        stats = ConversionStats()
+        tm = to_tiled(a, "LZ", Tiling(2, 4, 4, 16, 16), stats=stats)
+        from_tiled(tm, stats=stats)
+        assert stats.count == 2
+        assert stats.elements == 2 * 256
+        assert stats.bytes == 2 * 256 * 8
+        assert stats.seconds > 0
+
+    def test_record(self):
+        s = ConversionStats()
+        s.record(10, 8, 0.5)
+        s.record(5, 8, 0.25)
+        assert s.elements == 15
+        assert s.bytes == 120
+        assert s.seconds == 0.75
+        assert s.count == 2
+
+
+class TestDensePadded:
+    def test_basic(self, rng):
+        a = rng.standard_normal((10, 12))
+        t = Tiling(2, 3, 4, 10, 12)
+        dm = to_dense_padded(a, t)
+        assert dm.padded_shape == (12, 16)
+        np.testing.assert_array_equal(dm.array[:10, :12], a)
+        assert (dm.array[10:, :] == 0).all()
+        assert dm.array.flags["F_CONTIGUOUS"]
+
+    def test_transpose(self, rng):
+        a = rng.standard_normal((12, 10))
+        t = Tiling(2, 3, 4, 10, 12)
+        dm = to_dense_padded(a, t, transpose=True)
+        np.testing.assert_array_equal(dm.array[:10, :12], a.T)
+
+    def test_c_order(self, rng):
+        a = rng.standard_normal((8, 8))
+        dm = to_dense_padded(a, Tiling(1, 4, 4, 8, 8), order="C")
+        assert dm.array.flags["C_CONTIGUOUS"]
+
+    def test_charged_to_stats(self, rng):
+        a = rng.standard_normal((8, 8))
+        stats = ConversionStats()
+        to_dense_padded(a, Tiling(1, 4, 4, 8, 8), stats=stats)
+        assert stats.count == 1 and stats.elements == 64

@@ -1,0 +1,144 @@
+"""Cross-module edge cases and defensive-path coverage."""
+
+import numpy as np
+import pytest
+
+from repro.matrix import (
+    DenseMatrix,
+    TileRange,
+    TiledMatrix,
+    Tiling,
+    from_tiled,
+    to_tiled,
+)
+
+
+class TestDegenerateGeometries:
+    def test_one_by_one_tiles(self, rng):
+        a = rng.standard_normal((4, 4))
+        tm = to_tiled(a, "LH", Tiling(2, 1, 1, 4, 4))
+        np.testing.assert_array_equal(from_tiled(tm), a)
+
+    def test_single_row_matrix(self, rng):
+        a = rng.standard_normal((1, 16))
+        tm = to_tiled(a, "LZ", Tiling(2, 1, 4, 1, 16))
+        np.testing.assert_array_equal(from_tiled(tm), a)
+
+    def test_single_column_matrix(self, rng):
+        a = rng.standard_normal((16, 1))
+        tm = to_tiled(a, "LG", Tiling(2, 4, 1, 16, 1))
+        np.testing.assert_array_equal(from_tiled(tm), a)
+
+    def test_depth_zero_grid(self, rng):
+        a = rng.standard_normal((5, 7))
+        tm = to_tiled(a, "LU", Tiling(0, 5, 7, 5, 7))
+        assert tm.root_view().is_leaf
+        np.testing.assert_array_equal(from_tiled(tm), a)
+
+    def test_element_level_everything(self, rng):
+        # Frens & Wise's configuration: 1x1 tiles all the way down.
+        from repro.algorithms.standard import standard_multiply
+
+        n = 8
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        t = Tiling(3, 1, 1, n, n)
+        A, B = to_tiled(a, "LU", t), to_tiled(b, "LU", t)
+        C = TiledMatrix.zeros("LU", 3, 1, 1, n, n)
+        standard_multiply(C.root_view(), A.root_view(), B.root_view())
+        np.testing.assert_allclose(from_tiled(C), a @ b, atol=1e-12)
+
+
+class TestAlgorithmsOnSpecialValues:
+    @pytest.mark.parametrize("algo", ["standard", "strassen", "winograd",
+                                      "strassen_space", "hybrid"])
+    def test_zero_matrices(self, algo):
+        from repro.algorithms.dgemm import dgemm
+
+        z = np.zeros((16, 16))
+        r = dgemm(z, z, algorithm=algo, trange=TileRange(4, 8))
+        assert (r.c == 0).all()
+
+    @pytest.mark.parametrize("algo", ["strassen", "winograd"])
+    def test_identity_product(self, algo, rng):
+        from repro.algorithms.dgemm import dgemm
+
+        a = rng.standard_normal((32, 32))
+        r = dgemm(a, np.eye(32), algorithm=algo, trange=TileRange(8, 16))
+        np.testing.assert_allclose(r.c, a, atol=1e-12)
+
+    def test_large_magnitudes_no_overflow(self):
+        from repro.algorithms.dgemm import dgemm
+
+        a = np.full((16, 16), 1e150)
+        b = np.full((16, 16), 1e-150)
+        r = dgemm(a, b, trange=TileRange(4, 8))
+        np.testing.assert_allclose(r.c, np.full((16, 16), 16.0))
+
+
+class TestViewAliasing:
+    def test_same_matrix_as_a_and_b(self, rng):
+        # C = A . A must work (operands share storage, C separate).
+        from repro.algorithms.strassen import strassen_multiply
+
+        n = 32
+        a = rng.standard_normal((n, n))
+        t = Tiling(2, 8, 8, n, n)
+        A = to_tiled(a, "LZ", t)
+        C = TiledMatrix.zeros("LZ", 2, 8, 8, n, n)
+        strassen_multiply(C.root_view(), A.root_view(), A.root_view())
+        np.testing.assert_allclose(from_tiled(C), a @ a, atol=1e-9)
+
+    def test_quadrants_of_one_matrix_as_all_operands(self, rng):
+        # C-quadrant += A-quadrant . B-quadrant of one backing matrix,
+        # with disjoint quadrants: no aliasing hazards.
+        from repro.algorithms.standard import standard_multiply
+
+        n = 32
+        a = rng.standard_normal((n, n))
+        tm = to_tiled(a, "LH", Tiling(2, 8, 8, n, n))
+        q11, q12, q21, q22 = tm.root_view().quadrants()
+        before = tm.root_view().to_array()
+        standard_multiply(q12, q11, q22, accumulate=False)
+        after = tm.root_view().to_array()
+        np.testing.assert_allclose(
+            after[:16, 16:], before[:16, :16] @ before[16:, 16:], atol=1e-10
+        )
+        # Other quadrants untouched.
+        np.testing.assert_array_equal(after[16:, :], before[16:, :])
+
+
+class TestDenseMatrixEdges:
+    def test_c_order_roundtrip_through_algorithms(self, rng):
+        from repro.algorithms.standard import standard_multiply
+        from repro.matrix import to_dense_padded
+
+        n = 16
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        t = Tiling(1, 8, 8, n, n)
+        DA = to_dense_padded(a, t, order="C")
+        DB = to_dense_padded(b, t, order="C")
+        DC = DenseMatrix.zeros(1, 8, 8, n, n, order="C")
+        standard_multiply(DC.root_view(), DA.root_view(), DB.root_view())
+        np.testing.assert_allclose(DC.array[:n, :n], a @ b, atol=1e-10)
+
+
+class TestFloat32Pipeline:
+    def test_float32_strassen(self, rng):
+        from repro.algorithms.dgemm import dgemm
+
+        a = rng.standard_normal((32, 32)).astype(np.float32)
+        b = rng.standard_normal((32, 32)).astype(np.float32)
+        r = dgemm(a, b, algorithm="strassen", trange=TileRange(8, 16))
+        assert r.c.dtype == np.float32
+        np.testing.assert_allclose(r.c, a @ b, atol=1e-3)
+
+    def test_float32_cholesky(self, rng):
+        from repro.algorithms.cholesky import cholesky
+
+        n = 24
+        x = rng.standard_normal((n, n)).astype(np.float32)
+        a = (x @ x.T + n * np.eye(n, dtype=np.float32)).astype(np.float32)
+        L = cholesky(a.astype(np.float64), trange=TileRange(8, 16))
+        np.testing.assert_allclose(L @ L.T, a, atol=1e-3)

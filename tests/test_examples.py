@@ -1,0 +1,73 @@
+"""The example scripts must stay runnable (fast ones run in-process)."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load(name: str):
+    path = EXAMPLES / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    mod = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = mod
+    spec.loader.exec_module(mod)
+    return mod
+
+
+class TestExamplesExist:
+    def test_all_present(self):
+        names = {p.stem for p in EXAMPLES.glob("*.py")}
+        assert {
+            "quickstart",
+            "layout_gallery",
+            "locality_maps",
+            "tile_size_sweep",
+            "robustness_scan",
+            "parallel_scaling",
+            "cholesky_factorization",
+            "iterative_solver",
+        } <= names
+
+    def test_each_has_main(self):
+        for p in EXAMPLES.glob("*.py"):
+            text = p.read_text()
+            assert "def main(" in text, p.name
+            assert '__main__' in text, p.name
+
+
+class TestFastExamplesRun:
+    def test_layout_gallery(self, capsys):
+        _load("layout_gallery").main()
+        out = capsys.readouterr().out
+        assert "--- LH" in out
+        assert "Dilation statistics" in out
+
+    def test_locality_maps(self, capsys):
+        _load("locality_maps").main()
+        out = capsys.readouterr().out
+        assert "winograd" in out
+        assert "●" in out
+
+    def test_iterative_solver(self, capsys):
+        _load("iterative_solver").main()
+        out = capsys.readouterr().out
+        assert "CG over Z-Morton" in out
+        assert "agreement" in out
+
+    @pytest.mark.slow
+    def test_quickstart(self, capsys):
+        _load("quickstart").main()
+        out = capsys.readouterr().out
+        assert "cost breakdown" in out
+        assert "err=" in out
+
+    @pytest.mark.slow
+    def test_parallel_scaling(self, capsys):
+        _load("parallel_scaling").main()
+        out = capsys.readouterr().out
+        assert "parallelism" in out
+        assert "False sharing" in out

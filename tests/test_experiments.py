@@ -1,0 +1,167 @@
+"""Experiment drivers: they run, and the paper's qualitative claims hold
+at test scale."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import (
+    conversion_accounting,
+    critical_path_table,
+    false_sharing_table,
+    fig1_locality,
+    fig2_layouts,
+    fig4_tile_size_sweep,
+    fig5_robustness,
+    fig6_layout_comparison,
+    fig7_kernel_tiers,
+    scaling_table,
+    slowdown_vs_native,
+)
+from repro.analysis.report import ascii_plot, format_table
+from repro.matrix.tile import TileRange
+
+
+class TestFig1:
+    def test_rows(self):
+        rows = fig1_locality()
+        assert len(rows) == 6
+        std = [r for r in rows if r["algorithm"] == "standard"]
+        assert all(r["min"] == r["max"] == 8 for r in std)
+
+    def test_winograd_argmax(self):
+        rows = {(r["algorithm"], r["input"]): r for r in fig1_locality()}
+        assert rows[("winograd", "A")]["argmax"] == (0, 7)
+        assert rows[("winograd", "B")]["argmax"] == (7, 0)
+
+
+class TestFig2:
+    def test_all_layouts_present(self):
+        rows = fig2_layouts()
+        assert {r["layout"] for r in rows} == {"LR", "LC", "LU", "LX", "LZ", "LG", "LH"}
+
+    def test_hilbert_unit(self):
+        rows = {r["layout"]: r for r in fig2_layouts()}
+        assert rows["LH"]["max"] == 1.0
+
+
+class TestFig4:
+    def test_sweep_shape(self):
+        rows = fig4_tile_size_sweep(
+            n=64, tiles=[2, 8, 32], repeats=1, include_memsim=True
+        )
+        assert [r["tile"] for r in rows] == [2, 8, 32]
+        # Element-ish recursion must be much slower than the basin —
+        # the paper's headline anti-Frens-Wise result.
+        t = {r["tile"]: r["seconds"] for r in rows}
+        assert t[2] > 2 * t[8]
+
+    def test_memsim_fields(self):
+        rows = fig4_tile_size_sweep(n=64, tiles=[8], repeats=1)
+        assert "sim_cycles_per_flop" in rows[0]
+        assert rows[0]["l1_miss_rate"] > 0
+
+
+class TestFig5:
+    @pytest.mark.slow
+    def test_shape(self):
+        rows = fig5_robustness(n_values=[120, 124, 128, 132, 136], tile=16)
+        series = {
+            k: [r[k] for r in rows]
+            for k in ("standard_LC", "standard_LZ", "strassen_LC", "strassen_LZ")
+        }
+        rel = lambda xs: (max(xs) - min(xs)) / min(xs)  # noqa: E731
+        # LZ damps the standard algorithm's swings; Strassen is flat.
+        assert rel(series["standard_LC"]) > 2 * rel(series["standard_LZ"])
+        assert rel(series["standard_LC"]) > 2 * rel(series["strassen_LC"])
+        assert rel(series["strassen_LZ"]) < 0.5
+
+
+class TestFig6:
+    def test_recursive_beats_canonical_for_standard(self):
+        rows = fig6_layout_comparison(
+            n=96, algorithms=("standard",), layouts=("LC", "LZ", "LH"),
+            procs=(1,), trange=TileRange(8, 16), repeats=1,
+        )
+        t = {r["layout"]: r["p1_seconds"] for r in rows}
+        assert set(t) == {"LC", "LZ", "LH"}
+        # At wall-clock python scale the gap is small; just require the
+        # recursive layouts to be mutually comparable.
+        assert t["LZ"] < 3 * t["LH"] and t["LH"] < 3 * t["LZ"]
+
+    def test_simulated_multiproc_times_decrease(self):
+        rows = fig6_layout_comparison(
+            n=64, algorithms=("strassen",), layouts=("LZ",),
+            procs=(1, 2, 4), trange=TileRange(8, 16), repeats=1,
+        )
+        r = rows[0]
+        assert r["p1_seconds"] > r["p2_seconds"] > r["p4_seconds"]
+
+
+class TestFig7:
+    def test_tier_ordering(self):
+        rows = fig7_kernel_tiers(n=32, tile=8, repeats=1)
+        by = {r["kernel"]: r for r in rows}
+        assert by["blas"]["factor_vs_blas"] == 1.0
+        assert by["sixloop"]["factor_vs_blas"] > 1.0
+        assert by["unrolled"]["factor_vs_blas"] > by["sixloop"]["factor_vs_blas"]
+
+
+class TestCriticalPath:
+    def test_paper_ordering(self):
+        rows = {r["algorithm"]: r for r in critical_path_table(1024, 32)}
+        assert rows["standard"]["parallelism"] > rows["strassen"]["parallelism"]
+        assert rows["standard"]["parallelism"] > rows["winograd"]["parallelism"]
+        for r in rows.values():
+            assert r["speedup_at_4"] > 3.5
+
+
+class TestScaling:
+    def test_near_perfect_to_four(self):
+        rows = scaling_table("standard", n=128, procs=(1, 2, 4))
+        by = {r["procs"]: r for r in rows}
+        assert by[2]["ws_speedup"] > 1.7
+        assert by[4]["ws_speedup"] > 3.2
+        assert by[1]["greedy_speedup"] == pytest.approx(1.0)
+
+
+class TestConversionAccounting:
+    def test_fraction_small_and_reported(self):
+        rows = conversion_accounting(n_values=(64, 96))
+        for r in rows:
+            assert 0 < r["conversion_fraction"] < 0.9
+            assert r["conversions"] >= 3
+
+
+class TestSlowdown:
+    def test_reports_ratio(self):
+        out = slowdown_vs_native(n=96, tile=16, repeats=1)
+        assert out["slowdown"] > 0
+        assert out["ours_seconds"] > 0
+
+
+class TestFalseSharingTable:
+    def test_canonical_vs_recursive(self):
+        rows = false_sharing_table(n_values=(61,), tile=8)
+        r = rows[0]
+        assert r["LC_false_shared"] > 0
+        assert r["LZ_false_shared"] == 0
+
+
+class TestReportHelpers:
+    def test_format_table(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [10, 0.001]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "bb" in lines[0]
+
+    def test_ascii_plot(self):
+        out = ascii_plot({"x": [1, 2, 3], "y": [3, 2, 1]}, x=[10, 20, 30])
+        assert "*=x" in out and "o=y" in out
+        assert "10 .. 30" in out
+
+    def test_ascii_plot_empty(self):
+        assert ascii_plot({}) == "(no data)"
+
+    def test_ascii_plot_constant_series(self):
+        out = ascii_plot({"c": [5.0, 5.0]})
+        assert "*=c" in out

@@ -1,0 +1,140 @@
+"""Hybrid fast/standard algorithm (the Frens & Wise "attractive hybrid")."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.dgemm import dgemm
+from repro.algorithms.hybrid import default_fast_levels, hybrid_multiply
+from repro.algorithms.opcount import op_count
+from repro.kernels import instrument
+from repro.matrix.convert import from_tiled, to_tiled
+from repro.matrix.tile import Tiling, TileRange
+from repro.matrix.tiledmatrix import TiledMatrix
+from tests.conftest import ALL_RECURSIVE
+
+
+def _run(a, b, curve, **kw):
+    n = a.shape[0]
+    t = Tiling(3, n // 8, n // 8, n, n)
+    ta = to_tiled(a, curve, t)
+    tb = to_tiled(b, curve, t)
+    tc = TiledMatrix.zeros(curve, 3, n // 8, n // 8, n, n)
+    hybrid_multiply(tc.root_view(), ta.root_view(), tb.root_view(), **kw)
+    return from_tiled(tc)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("curve", ALL_RECURSIVE)
+    @pytest.mark.parametrize("fast", ["strassen", "winograd"])
+    @pytest.mark.parametrize("levels", [0, 1, 2, 3])
+    def test_all_level_counts(self, curve, fast, levels, rng):
+        n = 64
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        got = _run(a, b, curve, fast=fast, fast_levels=levels)
+        np.testing.assert_allclose(got, a @ b, atol=1e-9)
+
+    def test_levels_beyond_depth_are_safe(self, rng):
+        # More fast levels than recursion depth just bottoms out at leaves.
+        n = 32
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        t = Tiling(2, 8, 8, n, n)
+        ta, tb = to_tiled(a, "LZ", t), to_tiled(b, "LZ", t)
+        tc = TiledMatrix.zeros("LZ", 2, 8, 8, n, n)
+        hybrid_multiply(tc.root_view(), ta.root_view(), tb.root_view(),
+                        fast_levels=10)
+        np.testing.assert_allclose(from_tiled(tc), a @ b, atol=1e-10)
+
+    def test_accumulate(self, rng):
+        n = 32
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        c0 = rng.standard_normal((n, n))
+        t = Tiling(2, 8, 8, n, n)
+        ta, tb, tc = (to_tiled(x, "LH", t) for x in (a, b, c0))
+        hybrid_multiply(tc.root_view(), ta.root_view(), tb.root_view(),
+                        accumulate=True, fast_levels=1)
+        np.testing.assert_allclose(from_tiled(tc), c0 + a @ b, atol=1e-10)
+
+    def test_validation(self, rng):
+        t = TiledMatrix.zeros("LZ", 1, 4, 4)
+        v = t.root_view()
+        with pytest.raises(KeyError):
+            hybrid_multiply(v, v, v, fast="schonhage")
+        with pytest.raises(ValueError):
+            hybrid_multiply(v, v, v, fast_levels=-1)
+
+
+class TestOperationCounts:
+    def test_zero_levels_is_standard(self, rng):
+        n = 64
+        t = Tiling(3, 8, 8, n, n)
+        mats = [TiledMatrix.zeros("LZ", 3, 8, 8) for _ in range(3)]
+        c, a, b = mats
+        with instrument.collect() as cnt:
+            hybrid_multiply(c.root_view(), a.root_view(), b.root_view(),
+                            fast_levels=0)
+        assert cnt.leaf_multiplies == op_count("standard", n, 8).leaf_multiplies
+        assert cnt.add_elements == 0
+
+    @pytest.mark.parametrize("levels", [1, 2, 3])
+    def test_level_composition(self, levels, rng):
+        n, tile = 64, 8
+        mats = [TiledMatrix.zeros("LZ", 3, tile, tile) for _ in range(3)]
+        c, a, b = mats
+        with instrument.collect() as cnt:
+            hybrid_multiply(c.root_view(), a.root_view(), b.root_view(),
+                            fast_levels=levels, accumulate=False)
+        sub = n >> levels
+        assert cnt.leaf_multiplies == 7**levels * op_count(
+            "standard", sub, tile
+        ).leaf_multiplies
+        # Adds: 18 per fast level, with 7x products below each.
+        expect = 0
+        size, mults = n, 1
+        for _ in range(levels):
+            expect += mults * 18 * (size // 2) ** 2
+            mults *= 7
+            size //= 2
+        assert cnt.add_elements == expect
+
+
+class TestCrossover:
+    def test_default_levels_monotone_in_n(self):
+        l256 = default_fast_levels(256, 16)
+        l2048 = default_fast_levels(2048, 16)
+        assert l2048 >= l256
+
+    def test_expensive_streams_discourage_fast_levels(self):
+        cheap = default_fast_levels(1024, 16, stream_cost=0.5)
+        dear = default_fast_levels(1024, 16, stream_cost=50.0)
+        assert dear <= cheap
+
+    def test_validation(self):
+        with pytest.raises(KeyError):
+            default_fast_levels(64, 8, fast="nope")
+        with pytest.raises(ValueError):
+            default_fast_levels(100, 16)
+
+
+class TestDgemmIntegration:
+    def test_hybrid_through_dgemm(self, rng):
+        a = rng.standard_normal((50, 60))
+        b = rng.standard_normal((60, 45))
+        r = dgemm(a, b, algorithm="hybrid", trange=TileRange(8, 16))
+        np.testing.assert_allclose(r.c, a @ b, atol=1e-9)
+
+    def test_explicit_levels_and_fast(self, rng):
+        a = rng.standard_normal((64, 64))
+        b = rng.standard_normal((64, 64))
+        r = dgemm(a, b, algorithm="hybrid", fast="winograd", fast_levels=2,
+                  trange=TileRange(8, 16))
+        np.testing.assert_allclose(r.c, a @ b, atol=1e-9)
+
+    def test_fewer_flops_than_standard(self, rng):
+        a = rng.standard_normal((128, 128))
+        b = rng.standard_normal((128, 128))
+        r_std = dgemm(a, b, algorithm="standard", tile=8)
+        r_hyb = dgemm(a, b, algorithm="hybrid", fast_levels=2, tile=8)
+        assert r_hyb.counters.multiply_flops < r_std.counters.multiply_flops

@@ -1,0 +1,125 @@
+"""End-to-end integration flows across the whole stack."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import dgemm, matmul
+from repro.matrix import TileRange
+
+
+class TestPublicApi:
+    def test_top_level_exports(self):
+        assert callable(repro.dgemm)
+        assert callable(repro.matmul)
+        assert repro.__version__
+
+    def test_matmul_defaults(self, rng):
+        a = rng.standard_normal((100, 80))
+        b = rng.standard_normal((80, 90))
+        np.testing.assert_allclose(matmul(a, b), a @ b, atol=1e-9)
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("layout", ["LC", "LZ", "LG", "LH"])
+    def test_chained_products(self, layout, rng):
+        # (A.B).C == A.(B.C) through the library, mixing algorithms.
+        a = rng.standard_normal((40, 50))
+        b = rng.standard_normal((50, 30))
+        c = rng.standard_normal((30, 45))
+        tr = TileRange(8, 16)
+        ab = matmul(a, b, algorithm="strassen", layout=layout, trange=tr)
+        abc1 = matmul(ab, c, algorithm="winograd", layout=layout, trange=tr)
+        bc = matmul(b, c, algorithm="standard", layout=layout, trange=tr)
+        abc2 = matmul(a, bc, algorithm="standard", layout=layout, trange=tr)
+        np.testing.assert_allclose(abc1, abc2, atol=1e-8)
+        np.testing.assert_allclose(abc1, a @ b @ c, atol=1e-8)
+
+    def test_gemm_update_loop(self, rng):
+        # Repeated rank-k updates, like an outer blocked factorization.
+        n, k = 48, 16
+        c = np.zeros((n, n), order="F")
+        acc = c.copy()
+        for step in range(4):
+            a = rng.standard_normal((n, k))
+            b = rng.standard_normal((k, n))
+            c = dgemm(a, b, c, alpha=1.0, beta=1.0, layout="LZ",
+                      trange=TileRange(8, 16)).c
+            acc = acc + a @ b
+        np.testing.assert_allclose(c, acc, atol=1e-9)
+
+    def test_identity_and_zeros(self):
+        eye = np.eye(33)
+        z = np.zeros((33, 33))
+        np.testing.assert_allclose(
+            matmul(eye, eye, trange=TileRange(8, 16)), eye, atol=1e-12
+        )
+        np.testing.assert_allclose(
+            matmul(eye, z, algorithm="strassen", trange=TileRange(8, 16)),
+            z,
+            atol=1e-12,
+        )
+
+    def test_trace_then_simulate_consistency(self):
+        # Trace the same computation twice: identical address streams.
+        from repro.memsim import expand_trace, trace_multiply, ultrasparc_like
+
+        mach = ultrasparc_like()
+        e1, s1 = trace_multiply("winograd", "LG", 32, 8)
+        e2, s2 = trace_multiply("winograd", "LG", 32, 8)
+        a1 = expand_trace(e1, mach, s1)
+        a2 = expand_trace(e2, mach, s2)
+        np.testing.assert_array_equal(a1, a2)
+
+    def test_traced_run_matches_untraced_counts(self):
+        # The memsim trace path and the instrumentation counters agree
+        # on how many leaf products execute.
+        from repro.algorithms.opcount import op_count
+        from repro.memsim import trace_multiply
+
+        events, _ = trace_multiply("strassen", "LH", 64, 8)
+        muls = sum(1 for e in events if e.kind == "mul")
+        assert muls == op_count("strassen", 64, 8).leaf_multiplies
+
+    def test_numerical_stability_smoke(self, rng):
+        # Fast algorithms lose some accuracy (Higham); it must stay in a
+        # sane band for well-conditioned inputs.
+        n = 128
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        ref = a @ b
+        for algo in ("strassen", "winograd"):
+            got = matmul(a, b, algorithm=algo, trange=TileRange(16, 32))
+            rel = np.abs(got - ref).max() / np.abs(ref).max()
+            assert rel < 1e-11, algo
+
+    def test_non_square_chain_with_partition(self, rng):
+        # Tall A forces Figure-3 partitioning inside a longer pipeline.
+        a = rng.standard_normal((600, 30))
+        b = rng.standard_normal((30, 40))
+        out = matmul(a, b, trange=TileRange(8, 16))
+        np.testing.assert_allclose(out, a @ b, atol=1e-9)
+
+
+class TestThreadedEndToEnd:
+    def test_threaded_strassen(self, rng):
+        from repro.runtime import ThreadRuntime
+
+        a = rng.standard_normal((64, 64))
+        b = rng.standard_normal((64, 64))
+        with ThreadRuntime(n_workers=3) as rt:
+            r = dgemm(a, b, algorithm="strassen", layout="LG", rt=rt,
+                      trange=TileRange(8, 16))
+        np.testing.assert_allclose(r.c, a @ b, atol=1e-9)
+
+    def test_traced_dgemm_workspan(self):
+        from repro.runtime import TraceRuntime, work, span
+
+        rng = np.random.default_rng(5)
+        a = rng.standard_normal((64, 64))
+        b = rng.standard_normal((64, 64))
+        rt = TraceRuntime()
+        r = dgemm(a, b, algorithm="standard", rt=rt, trange=TileRange(8, 16))
+        np.testing.assert_allclose(r.c, a @ b, atol=1e-9)
+        t1, tinf = work(rt.root), span(rt.root)
+        assert t1 > tinf > 0

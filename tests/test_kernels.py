@@ -1,0 +1,98 @@
+"""Leaf kernels and instrumentation counters."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import instrument
+from repro.kernels.leaf import (
+    KERNELS,
+    get_kernel,
+    leaf_blas,
+    leaf_sixloop,
+    leaf_unrolled,
+)
+
+
+@pytest.fixture
+def abc(rng):
+    a = np.asfortranarray(rng.standard_normal((6, 9)))
+    b = np.asfortranarray(rng.standard_normal((9, 7)))
+    c = np.asfortranarray(rng.standard_normal((6, 7)))
+    return a, b, c
+
+
+class TestKernelsAgree:
+    @pytest.mark.parametrize("name", ["blas", "sixloop", "unrolled"])
+    def test_accumulates(self, name, abc):
+        a, b, c = abc
+        ref = c + a @ b
+        KERNELS[name](c, a, b)
+        np.testing.assert_allclose(c, ref, atol=1e-12)
+
+    def test_all_three_identical(self, abc):
+        a, b, c = abc
+        c1, c2, c3 = c.copy(), c.copy(), c.copy()
+        leaf_blas(c1, a, b)
+        leaf_sixloop(c2, a, b)
+        leaf_unrolled(c3, a, b)
+        np.testing.assert_allclose(c1, c2, atol=1e-12)
+        np.testing.assert_allclose(c1, c3, atol=1e-12)
+
+    def test_unrolled_remainder_loop(self, rng):
+        # k not divisible by 4 exercises the cleanup loop.
+        a = rng.standard_normal((3, 5))
+        b = rng.standard_normal((5, 3))
+        c = np.zeros((3, 3))
+        leaf_unrolled(c, a, b)
+        np.testing.assert_allclose(c, a @ b, atol=1e-12)
+
+    def test_strided_views(self, rng):
+        # Canonical-layout leaves are strided; kernels must handle them.
+        big = np.asfortranarray(rng.standard_normal((16, 16)))
+        a = big[2:8, 3:9]
+        b = big[1:7, 4:10]
+        c = np.zeros((6, 6), order="F")
+        ref = a @ b
+        leaf_blas(c, a, b)
+        np.testing.assert_allclose(c, ref)
+
+
+class TestRegistry:
+    def test_get_by_name(self):
+        assert get_kernel("blas") is leaf_blas
+
+    def test_passthrough_callable(self):
+        fn = lambda c, a, b: None  # noqa: E731
+        assert get_kernel(fn) is fn
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            get_kernel("fortran")
+
+
+class TestInstrumentation:
+    def test_flops_counted(self, abc):
+        a, b, c = abc
+        with instrument.collect() as got:
+            leaf_blas(c, a, b)
+        assert got.multiply_flops == 2 * 6 * 9 * 7
+        assert got.leaf_multiplies == 1
+
+    def test_nested_collect(self, abc):
+        a, b, c = abc
+        with instrument.collect() as outer:
+            leaf_blas(c, a, b)
+            with instrument.collect() as inner:
+                leaf_blas(c, a, b)
+        assert inner.leaf_multiplies == 1
+        assert outer.leaf_multiplies == 2
+
+    def test_total_flops(self):
+        cnt = instrument.Counters(multiply_flops=100, add_elements=20)
+        assert cnt.total_flops == 120
+
+    def test_reset(self, abc):
+        a, b, c = abc
+        leaf_blas(c, a, b)
+        instrument.reset()
+        assert instrument.counters.multiply_flops == 0

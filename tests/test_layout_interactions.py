@@ -1,0 +1,121 @@
+"""Cross-layout interaction properties: identities linking the curves,
+the composite layout's locality guarantees, and curve statistics the
+paper's arguments rest on."""
+
+import numpy as np
+import pytest
+
+from repro.bits.gray import gray_decode
+from repro.bits.morton import interleave
+from repro.layouts.registry import get_layout
+from repro.layouts.tiled import TiledLayout
+from tests.conftest import ALL_RECURSIVE
+
+
+class TestCurveIdentities:
+    def test_gray_is_gray_decode_of_z_on_gray_coords(self):
+        # S_G(i, j) = G^{-1}(S_Z(G(i), G(j))): composition identity.
+        lg, lz = get_layout("LG"), get_layout("LZ")
+        order = 4
+        side = 1 << order
+        from repro.bits.gray import gray_encode
+
+        i = np.arange(side, dtype=np.uint64)
+        ii, jj = np.meshgrid(i, i, indexing="ij")
+        via_z = gray_decode(lz.s(gray_encode(ii), gray_encode(jj), order))
+        np.testing.assert_array_equal(via_z, lg.s(ii, jj, order))
+
+    def test_u_x_transpose_duality(self):
+        # S_U(i, j) and S_X share structure: X's high pair is i^j and low
+        # is j while U's is j then i^j — so S_X(i,j) is S_U with the
+        # interleave operands swapped.
+        order = 3
+        side = 1 << order
+        lu, lx = get_layout("LU"), get_layout("LX")
+        for i in range(side):
+            for j in range(side):
+                u_bits = lu.s_scalar(i, j, order)
+                x_bits = lx.s_scalar(i, j, order)
+                # swap each bit pair of u -> x
+                swapped = 0
+                for k in range(order):
+                    hi = (u_bits >> (2 * k + 1)) & 1
+                    lo = (u_bits >> (2 * k)) & 1
+                    swapped |= (lo << (2 * k + 1)) | (hi << (2 * k))
+                assert swapped == x_bits
+
+    def test_z_diagonal_is_all_ones_pattern(self):
+        # S_Z(i, i) interleaves i with itself: binary 11 pairs.
+        lz = get_layout("LZ")
+        for i in range(16):
+            s = lz.s_scalar(i, i, 4)
+            assert s == int(interleave(np.array([i]), np.array([i]))[0])
+            # every bit pair is 00 or 11
+            for k in range(4):
+                pair = (s >> (2 * k)) & 3
+                assert pair in (0, 3)
+
+
+class TestCompositeLocality:
+    @pytest.mark.parametrize("curve", ALL_RECURSIVE)
+    def test_quadrant_address_ranges_nested(self, curve):
+        # Every aligned 2^k x 2^k tile block occupies a contiguous
+        # address range — the multi-scale contiguity that makes
+        # quadrants streamable at every recursion level.
+        tl = TiledLayout.create(curve, 3, 4, 4)
+        side = 8
+        for k in (1, 2, 4):
+            for bi in range(0, side, k):
+                for bj in range(0, side, k):
+                    ti = np.repeat(np.arange(bi, bi + k), k)
+                    tj = np.tile(np.arange(bj, bj + k), k)
+                    bases = np.sort(tl.tile_base(ti, tj))
+                    assert bases[0] % (k * k * tl.tile_size) == 0
+                    np.testing.assert_array_equal(
+                        np.diff(bases), tl.tile_size
+                    )
+
+    @pytest.mark.parametrize("curve", ALL_RECURSIVE)
+    def test_within_tile_distance_bound(self, curve):
+        # Elements in the same tile are within tile_size of each other.
+        tl = TiledLayout.create(curve, 2, 5, 6)
+        i0, j0 = 5, 6  # tile (1, 1)
+        addrs = tl.address(
+            np.repeat(np.arange(i0, i0 + 5), 6),
+            np.tile(np.arange(j0, j0 + 6), 5),
+        )
+        assert addrs.max() - addrs.min() == tl.tile_size - 1
+
+
+class TestDilationTheory:
+    def test_pigeonhole_neighbor_bound(self):
+        # Paper Section 3.4: at most two of the four cardinal neighbors
+        # of (i, j) can be adjacent to S(i, j) along any curve.
+        for name in ALL_RECURSIVE:
+            lay = get_layout(name)
+            order = 4
+            side = 1 << order
+            grid = lay.tile_order(order)
+            for i in range(1, side - 1):
+                for j in range(1, side - 1):
+                    s = grid[i, j]
+                    adjacent = sum(
+                        1
+                        for ni, nj in ((i - 1, j), (i + 1, j), (i, j - 1), (i, j + 1))
+                        if abs(int(grid[ni, nj]) - int(s)) == 1
+                    )
+                    assert adjacent <= 2, (name, i, j)
+
+    def test_average_jump_bounded(self):
+        # All recursive curves have bounded mean jump (locality), unlike
+        # a random permutation whose mean jump grows with the side.
+        from repro.layouts.curves import jump_lengths
+
+        order = 5
+        side = 1 << order
+        rng = np.random.default_rng(0)
+        pts = rng.permutation(side * side)
+        ii, jj = pts // side, pts % side
+        random_mean = np.hypot(np.diff(ii), np.diff(jj)).mean()
+        for name in ALL_RECURSIVE:
+            assert jump_lengths(name, order).mean() < random_mean / 4, name

@@ -1,0 +1,134 @@
+"""Structural invariants of the quadrant-FSM layout framework."""
+
+import numpy as np
+import pytest
+
+from repro.layouts.base import orientation_permutation
+from repro.layouts.registry import get_layout, get_recursive_layout
+from tests.conftest import ALL_RECURSIVE, MULTI_ORIENTATION
+
+
+@pytest.mark.parametrize("name", ALL_RECURSIVE)
+class TestSelfSimilarity:
+    """Every quadrant occupies a contiguous quarter of the curve and is
+    itself ordered by some orientation of the same layout — the property
+    the whole recursion scheme rests on."""
+
+    def test_quadrants_contiguous(self, name):
+        lay = get_layout(name)
+        order = 3
+        for orient in range(lay.n_orientations):
+            grid = lay.tile_order(order, orient)
+            h = 1 << (order - 1)
+            qsz = h * h
+            for qi in (0, 1):
+                for qj in (0, 1):
+                    quad = grid[qi * h : (qi + 1) * h, qj * h : (qj + 1) * h]
+                    lo = quad.min()
+                    assert lo % qsz == 0
+                    assert quad.max() == lo + qsz - 1
+
+    def test_rank_table_matches_grid(self, name):
+        lay = get_layout(name)
+        order = 3
+        h = 1 << (order - 1)
+        qsz = h * h
+        for orient in range(lay.n_orientations):
+            grid = lay.tile_order(order, orient)
+            for qi in (0, 1):
+                for qj in (0, 1):
+                    quad = grid[qi * h : (qi + 1) * h, qj * h : (qj + 1) * h]
+                    assert quad.min() // qsz == lay.quadrant_rank(orient, qi, qj)
+
+    def test_child_orientation_matches_grid(self, name):
+        lay = get_layout(name)
+        order = 3
+        h = 1 << (order - 1)
+        for orient in range(lay.n_orientations):
+            grid = lay.tile_order(order, orient)
+            for qi in (0, 1):
+                for qj in (0, 1):
+                    quad = grid[qi * h : (qi + 1) * h, qj * h : (qj + 1) * h]
+                    child = lay.quadrant_orientation(orient, qi, qj)
+                    expect = lay.tile_order(order - 1, child)
+                    np.testing.assert_array_equal(quad - quad.min(), expect)
+
+    def test_all_orientations_are_bijections(self, name):
+        lay = get_layout(name)
+        for orient in range(lay.n_orientations):
+            grid = lay.tile_order(3, orient)
+            assert sorted(grid.ravel().tolist()) == list(range(64))
+
+    def test_orientation_out_of_range(self, name):
+        lay = get_layout(name)
+        with pytest.raises(ValueError):
+            lay.tile_order(2, lay.n_orientations)
+
+
+class TestOrientationPermutation:
+    @pytest.mark.parametrize("name", MULTI_ORIENTATION)
+    def test_definition(self, name):
+        # perm[p_dst] = p_src for the same logical tile.
+        lay = get_recursive_layout(name)
+        order = 3
+        for src in range(lay.n_orientations):
+            for dst in range(lay.n_orientations):
+                perm = orientation_permutation(lay, order, src, dst)
+                gs = lay.tile_order(order, src).ravel()
+                gd = lay.tile_order(order, dst).ravel()
+                np.testing.assert_array_equal(perm[gd], gs)
+
+    @pytest.mark.parametrize("name", MULTI_ORIENTATION)
+    def test_identity_when_same(self, name):
+        lay = get_recursive_layout(name)
+        perm = orientation_permutation(lay, 3, 1, 1)
+        np.testing.assert_array_equal(perm, np.arange(64))
+
+    @pytest.mark.parametrize("name", MULTI_ORIENTATION)
+    def test_inverse_composition(self, name):
+        lay = get_recursive_layout(name)
+        fwd = orientation_permutation(lay, 3, 0, 1)
+        bwd = orientation_permutation(lay, 3, 1, 0)
+        np.testing.assert_array_equal(fwd[bwd], np.arange(64))
+
+    def test_cached(self):
+        lay = get_recursive_layout("LH")
+        a = orientation_permutation(lay, 4, 0, 2)
+        b = orientation_permutation(lay, 4, 0, 2)
+        assert a is b
+
+
+class TestGraySymmetry:
+    """Paper Section 3.4: opposite Gray orientations differ only in the
+    gluing order of their two halves."""
+
+    @pytest.mark.parametrize("order", [1, 2, 3, 4])
+    def test_half_swap(self, order):
+        lay = get_layout("LG")
+        o0 = lay.tile_order(order, 0).ravel()
+        o1 = lay.tile_order(order, 1).ravel()
+        n = o0.size
+        np.testing.assert_array_equal((o0 + n // 2) % n, o1)
+
+    def test_child_orientation_is_column_bit(self):
+        lay = get_layout("LG")
+        for orient in (0, 1):
+            for qi in (0, 1):
+                for qj in (0, 1):
+                    assert lay.quadrant_orientation(orient, qi, qj) == qj
+
+
+class TestSequence:
+    @pytest.mark.parametrize("name", ALL_RECURSIVE + ["LC", "LR"])
+    def test_sequence_inverts_tile_order(self, name):
+        lay = get_layout(name)
+        order = 3
+        grid = lay.tile_order(order)
+        seq = lay.sequence(order)
+        for rank, (i, j) in enumerate(seq):
+            assert grid[i, j] == rank
+
+    def test_scalar_helpers(self):
+        lay = get_layout("LZ")
+        assert lay.s_scalar(1, 1, 2) == 3
+        assert lay.s_inv_scalar(3, 2) == (1, 1)

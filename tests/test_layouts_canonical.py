@@ -1,0 +1,86 @@
+"""Canonical layout functions L_R and L_C."""
+
+import numpy as np
+import pytest
+
+from repro.layouts.canonical import ColMajor, RowMajor
+from repro.layouts.registry import get_layout
+
+
+class TestRowMajor:
+    def test_formula(self):
+        # L_R(i, j; m, n) = n*i + j on the square grid.
+        lay = RowMajor()
+        order = 3
+        n = 1 << order
+        for i in range(n):
+            for j in range(n):
+                assert lay.s_scalar(i, j, order) == n * i + j
+
+    def test_inverse(self):
+        lay = RowMajor()
+        s = np.arange(64, dtype=np.uint64)
+        i, j = lay.s_inv(s, 3)
+        np.testing.assert_array_equal(lay.s(i, j, 3), s)
+
+    def test_not_recursive(self):
+        assert not RowMajor().is_recursive
+
+
+class TestColMajor:
+    def test_formula(self):
+        # L_C(i, j; m, n) = m*j + i on the square grid.
+        lay = ColMajor()
+        order = 3
+        m = 1 << order
+        for i in range(m):
+            for j in range(m):
+                assert lay.s_scalar(i, j, order) == m * j + i
+
+    def test_inverse(self):
+        lay = ColMajor()
+        s = np.arange(256, dtype=np.uint64)
+        i, j = lay.s_inv(s, 4)
+        np.testing.assert_array_equal(lay.s(i, j, 4), s)
+
+    def test_transpose_relationship(self):
+        # L_C(i, j) == L_R(j, i) on square grids.
+        lc, lr = ColMajor(), RowMajor()
+        for i in range(8):
+            for j in range(8):
+                assert lc.s_scalar(i, j, 3) == lr.s_scalar(j, i, 3)
+
+    def test_single_orientation_tile_order(self):
+        lay = ColMajor()
+        with pytest.raises(ValueError):
+            lay.tile_order(2, orientation=1)
+
+
+class TestRegistry:
+    def test_all_names(self):
+        from repro.layouts.registry import LAYOUTS, PAPER_LAYOUTS
+
+        assert set(PAPER_LAYOUTS) <= set(LAYOUTS)
+        assert "LR" in LAYOUTS
+
+    def test_lookup_case_insensitive(self):
+        assert get_layout("lz").name == "LZ"
+
+    def test_lookup_passthrough(self):
+        lay = get_layout("LH")
+        assert get_layout(lay) is lay
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_layout("L?")
+
+    def test_recursive_guard(self):
+        from repro.layouts.registry import get_recursive_layout
+
+        with pytest.raises(TypeError):
+            get_recursive_layout("LC")
+
+    def test_singletons_equal(self):
+        assert get_layout("LZ") == get_layout("LZ")
+        assert hash(get_layout("LG")) == hash(get_layout("LG"))
+        assert get_layout("LZ") != get_layout("LU")

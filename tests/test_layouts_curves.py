@@ -1,0 +1,71 @@
+"""Curve enumeration and dilation statistics (Figure 2 content)."""
+
+import numpy as np
+import pytest
+
+from repro.layouts.curves import (
+    curve_points,
+    dilation_profile,
+    jump_lengths,
+    render_order_grid,
+)
+from tests.conftest import ALL_RECURSIVE
+
+
+class TestCurvePoints:
+    @pytest.mark.parametrize("name", ALL_RECURSIVE + ["LC", "LR"])
+    def test_visits_every_tile_once(self, name):
+        pts = curve_points(name, 3)
+        assert pts.shape == (64, 2)
+        assert len({(int(i), int(j)) for i, j in pts}) == 64
+
+    def test_orientation_variants(self):
+        p0 = curve_points("LH", 3, orientation=0)
+        p1 = curve_points("LH", 3, orientation=1)
+        assert not np.array_equal(p0, p1)
+
+    def test_starts_at_origin(self):
+        for name in ALL_RECURSIVE:
+            assert tuple(curve_points(name, 3)[0]) == (0, 0)
+
+
+class TestJumpLengths:
+    def test_hilbert_all_unit(self):
+        j = jump_lengths("LH", 4)
+        assert np.allclose(j, 1.0)
+
+    def test_canonical_has_row_jumps(self):
+        # L_R jumps across the full row width once per row.
+        j = jump_lengths("LR", 3)
+        big = j[j > 1]
+        assert len(big) == 7  # one per row boundary
+        assert np.allclose(big, np.hypot(1, 7))
+
+    def test_morton_has_multiscale_jumps(self):
+        # Paper Section 3.4: recursive layouts dilate at multiple scales.
+        j = jump_lengths("LZ", 4)
+        assert len(np.unique(np.round(j[j > 1], 6))) >= 3
+
+
+class TestDilationProfile:
+    def test_fields(self):
+        prof = dilation_profile("LZ", 3)
+        assert set(prof) == {"mean", "max", "unit_fraction"}
+
+    def test_jumps_less_pronounced_with_more_orientations(self):
+        # Paper: "these jumps get less pronounced as the number of
+        # orientations increases".  Hilbert (4) beats Gray (2) beats the
+        # worst single-orientation layout on max jump.
+        mx = {name: dilation_profile(name, 4)["max"] for name in ("LZ", "LG", "LH")}
+        assert mx["LH"] <= mx["LG"] <= mx["LZ"]
+
+
+class TestRender:
+    def test_zorder_grid(self):
+        text = render_order_grid("LZ", 1)
+        assert text.splitlines() == ["0 1", "2 3"]
+
+    def test_render_orientation(self):
+        t0 = render_order_grid("LG", 2, 0)
+        t1 = render_order_grid("LG", 2, 1)
+        assert t0 != t1

@@ -1,0 +1,134 @@
+"""The paper's closed-form S definitions (Section 3.1-3.3), verified.
+
+Each layout's vectorized implementation is checked against a literal,
+independent transcription of the paper's bit-string formula, plus the
+structural facts the paper states (single/two/four orientations,
+S(0,0) = 0, bijectivity).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bits.gray import gray_decode_scalar, gray_encode_scalar
+from repro.layouts.registry import get_layout
+from tests.conftest import ALL_RECURSIVE
+
+
+def _bits(x: int, d: int) -> list[int]:
+    return [(x >> k) & 1 for k in range(d - 1, -1, -1)]  # MSB first
+
+
+def _from_bits(bs: list[int]) -> int:
+    out = 0
+    for b in bs:
+        out = (out << 1) | b
+    return out
+
+
+def _bowtie(u: int, v: int, d: int) -> int:
+    """Literal u ⋈ v from the paper: u_{d-1} v_{d-1} ... u_0 v_0."""
+    ub, vb = _bits(u, d), _bits(v, d)
+    out = []
+    for a, b in zip(ub, vb):
+        out.extend([a, b])
+    return _from_bits(out)
+
+
+def _s_reference(name: str, i: int, j: int, d: int) -> int:
+    if name == "LZ":
+        return _bowtie(i, j, d)
+    if name == "LU":
+        return _bowtie(j, i ^ j, d)
+    if name == "LX":
+        return _bowtie(i ^ j, j, d)
+    if name == "LG":
+        return gray_decode_scalar(
+            _bowtie(gray_encode_scalar(i), gray_encode_scalar(j), d)
+        )
+    raise KeyError(name)
+
+
+@pytest.mark.parametrize("name", ["LZ", "LU", "LX", "LG"])
+@pytest.mark.parametrize("order", [1, 2, 3, 4])
+def test_matches_paper_formula(name, order):
+    lay = get_layout(name)
+    side = 1 << order
+    for i in range(side):
+        for j in range(side):
+            assert lay.s_scalar(i, j, order) == _s_reference(name, i, j, order), (
+                name,
+                i,
+                j,
+            )
+
+
+@pytest.mark.parametrize("name", ALL_RECURSIVE)
+@pytest.mark.parametrize("order", [0, 1, 2, 3, 4])
+def test_bijection(name, order):
+    lay = get_layout(name)
+    side = 1 << order
+    ii, jj = np.meshgrid(np.arange(side), np.arange(side), indexing="ij")
+    s = lay.s(ii, jj, order).astype(np.int64)
+    assert sorted(s.ravel().tolist()) == list(range(side * side))
+
+
+@pytest.mark.parametrize("name", ALL_RECURSIVE)
+@pytest.mark.parametrize("order", [1, 2, 3, 5])
+def test_inverse(name, order):
+    lay = get_layout(name)
+    side = 1 << order
+    ii, jj = np.meshgrid(np.arange(side), np.arange(side), indexing="ij")
+    s = lay.s(ii, jj, order)
+    i2, j2 = lay.s_inv(s, order)
+    np.testing.assert_array_equal(i2.reshape(ii.shape), ii)
+    np.testing.assert_array_equal(j2.reshape(jj.shape), jj)
+
+
+@pytest.mark.parametrize("name", ALL_RECURSIVE)
+def test_origin_convention(name):
+    # The paper adopts S(0, 0) = 0 for all layouts.
+    lay = get_layout(name)
+    for order in range(1, 6):
+        assert lay.s_scalar(0, 0, order) == 0
+
+
+@pytest.mark.parametrize("name", ALL_RECURSIVE)
+@pytest.mark.parametrize("order", [1, 2, 3, 4])
+def test_fsm_matches_closed_form(name, order):
+    lay = get_layout(name)
+    side = 1 << order
+    ii, jj = np.meshgrid(np.arange(side), np.arange(side), indexing="ij")
+    np.testing.assert_array_equal(
+        lay.s(ii, jj, order).astype(np.int64),
+        lay.s_fsm(ii, jj, order, 0).astype(np.int64),
+    )
+    # Inverse FSM agrees too.
+    s = np.arange(side * side, dtype=np.uint64)
+    i1, j1 = lay.s_inv(s, order)
+    i2, j2 = lay.s_inv_fsm(s, order, 0)
+    np.testing.assert_array_equal(i1, i2)
+    np.testing.assert_array_equal(j1, j2)
+
+
+def test_orientation_counts():
+    # The paper's classification: one orientation for U/X/Z, two for
+    # Gray-Morton, four for Hilbert.
+    assert get_layout("LU").n_orientations == 1
+    assert get_layout("LX").n_orientations == 1
+    assert get_layout("LZ").n_orientations == 1
+    assert get_layout("LG").n_orientations == 2
+    assert get_layout("LH").n_orientations == 4
+
+
+def test_single_orientation_locality_of_bits():
+    # Paper Section 3.4: for single-orientation layouts, bits 2u+1, 2u of
+    # S depend only on bit u of i and j.  Flipping a low bit of (i, j)
+    # must not change higher output bits.
+    for name in ("LU", "LX", "LZ"):
+        lay = get_layout(name)
+        order = 5
+        for i in range(0, 32, 5):
+            for j in range(0, 32, 7):
+                base = lay.s_scalar(i, j, order)
+                flipped = lay.s_scalar(i ^ 1, j, order)
+                assert (base >> 2) == (flipped >> 2), name

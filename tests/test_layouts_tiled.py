@@ -1,0 +1,93 @@
+"""The composite tiled layout of equation (3)."""
+
+import numpy as np
+import pytest
+
+from repro.layouts.registry import get_layout
+from repro.layouts.tiled import TiledLayout
+from tests.conftest import ALL_RECURSIVE
+
+
+class TestGeometry:
+    def test_basic(self):
+        tl = TiledLayout.create("LZ", 2, 3, 5)
+        assert tl.grid_side == 4
+        assert tl.n_tiles == 16
+        assert tl.tile_size == 15
+        assert tl.rows == 12
+        assert tl.cols == 20
+        assert tl.n_elements == 240
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TiledLayout.create("LZ", -1, 2, 2)
+        with pytest.raises(ValueError):
+            TiledLayout.create("LZ", 1, 0, 2)
+
+    def test_order_zero(self):
+        tl = TiledLayout.create("LH", 0, 4, 4)
+        assert tl.n_tiles == 1
+        assert tl.address_scalar(3, 2) == 2 * 4 + 3
+
+
+@pytest.mark.parametrize("curve", ALL_RECURSIVE)
+class TestEquationThree:
+    def test_address_formula(self, curve):
+        # L(i,j) = tR*tC*S(i div tR, j div tC) + L_C(i mod tR, j mod tC).
+        tl = TiledLayout.create(curve, 2, 3, 4)
+        lay = get_layout(curve)
+        for i in range(tl.rows):
+            for j in range(tl.cols):
+                expected = 12 * lay.s_scalar(i // 3, j // 4, 2) + (j % 4) * 3 + (i % 3)
+                assert tl.address_scalar(i, j) == expected
+
+    def test_address_is_bijection(self, curve):
+        tl = TiledLayout.create(curve, 2, 3, 4)
+        ii, jj = np.meshgrid(np.arange(tl.rows), np.arange(tl.cols), indexing="ij")
+        addrs = tl.address(ii.ravel(), jj.ravel())
+        assert sorted(addrs.tolist()) == list(range(tl.n_elements))
+
+    def test_coords_inverts_address(self, curve):
+        tl = TiledLayout.create(curve, 3, 2, 5)
+        off = np.arange(tl.n_elements)
+        i, j = tl.coords(off)
+        np.testing.assert_array_equal(tl.address(i, j), off)
+
+    def test_tiles_are_contiguous_column_major(self, curve):
+        tl = TiledLayout.create(curve, 2, 3, 4)
+        # Within any tile, addresses are the tile base + column-major offset.
+        base = tl.address_scalar(3, 4)  # start of tile (1, 1)
+        assert base % tl.tile_size == 0
+        for fi in range(3):
+            for fj in range(4):
+                assert tl.address_scalar(3 + fi, 4 + fj) == base + fj * 3 + fi
+
+
+class TestElementPermutation:
+    @pytest.mark.parametrize("curve", ALL_RECURSIVE)
+    def test_gather_matches_address(self, curve, rng):
+        tl = TiledLayout.create(curve, 2, 3, 4)
+        dense = rng.standard_normal((tl.rows, tl.cols))
+        buf = dense.ravel(order="F")[tl.element_permutation()]
+        for i in range(0, tl.rows, 2):
+            for j in range(0, tl.cols, 3):
+                assert buf[tl.address_scalar(i, j)] == dense[i, j]
+
+    def test_inverse_permutation(self, rng):
+        tl = TiledLayout.create("LG", 3, 2, 2)
+        dense = rng.standard_normal((tl.rows, tl.cols))
+        flat = dense.ravel(order="F")
+        buf = flat[tl.element_permutation()]
+        np.testing.assert_array_equal(buf[tl.inverse_element_permutation()], flat)
+
+    def test_cached_across_equal_layouts(self):
+        a = TiledLayout.create("LZ", 3, 4, 4).element_permutation()
+        b = TiledLayout.create("LZ", 3, 4, 4).element_permutation()
+        assert a is b
+
+    def test_out_of_range_address(self):
+        tl = TiledLayout.create("LZ", 1, 2, 2)
+        with pytest.raises(IndexError):
+            tl.address(np.array([4]), np.array([0]))
+        with pytest.raises(IndexError):
+            tl.address(np.array([0]), np.array([-1]))

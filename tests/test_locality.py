@@ -1,0 +1,113 @@
+"""Algorithmic locality footprints (paper Figure 1)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.locality import (
+    FOOTPRINT_ALGORITHMS,
+    footprint_counts,
+    footprints,
+    render_footprint,
+)
+
+
+class TestStandard:
+    def test_reads_exactly_row_and_column(self):
+        # C[i,j] under the standard algorithm reads exactly row i of A
+        # and column j of B.
+        n = 8
+        cells = footprints("standard", n)
+        for i in range(n):
+            for j in range(n):
+                reads = cells[i][j]
+                a_reads = {(r, c) for nm, r, c in reads if nm == "A"}
+                b_reads = {(r, c) for nm, r, c in reads if nm == "B"}
+                assert a_reads == {(i, k) for k in range(n)}
+                assert b_reads == {(k, j) for k in range(n)}
+
+    def test_counts_uniform(self):
+        counts = footprint_counts("standard", 8)
+        assert (counts["A"] == 8).all()
+        assert (counts["B"] == 8).all()
+
+
+class TestStrassen:
+    def test_supersets_of_standard(self):
+        # Strassen reads at least what the standard algorithm needs.
+        std = footprints("standard", 8)
+        strs = footprints("strassen", 8)
+        for i in range(8):
+            for j in range(8):
+                assert std[i][j] <= strs[i][j]
+
+    def test_worst_on_main_diagonal(self):
+        # Paper: extra accesses "particularly evident along the main
+        # diagonal for Strassen's algorithm".
+        counts = footprint_counts("strassen", 8)["A"]
+        diag = np.diag(counts).mean()
+        off = counts[~np.eye(8, dtype=bool)].mean()
+        assert diag > off
+        assert counts.max() == np.diag(counts).max()
+
+    def test_symmetry_between_inputs(self):
+        counts = footprint_counts("strassen", 8)
+        assert counts["A"].sum() == counts["B"].sum()
+
+
+class TestWinograd:
+    def test_worst_at_corners(self):
+        # Paper: "for elements (0,7) and (7,0) for Winograd's".
+        counts = footprint_counts("winograd", 8)
+        amax = np.unravel_index(counts["A"].argmax(), (8, 8))
+        bmax = np.unravel_index(counts["B"].argmax(), (8, 8))
+        assert amax == (0, 7)
+        assert bmax == (7, 0)
+
+    def test_worse_than_strassen_on_average(self):
+        # Winograd's subexpression sharing costs locality (paper Sec. 2).
+        s = footprint_counts("strassen", 8)["A"].mean()
+        w = footprint_counts("winograd", 8)["A"].mean()
+        assert w > s
+
+    def test_supersets_of_standard(self):
+        std = footprints("standard", 4)
+        win = footprints("winograd", 4)
+        for i in range(4):
+            for j in range(4):
+                assert std[i][j] <= win[i][j]
+
+
+class TestFramework:
+    def test_n_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            footprints("standard", 6)
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(KeyError):
+            footprints("schoenhage", 8)
+
+    def test_registry(self):
+        assert set(FOOTPRINT_ALGORITHMS) == {"standard", "strassen", "winograd"}
+
+    def test_base_case(self):
+        cells = footprints("strassen", 1)
+        assert cells[0][0] == {("A", 0, 0), ("B", 0, 0)}
+
+    def test_render(self):
+        art = render_footprint("standard", 2, 3, "A", 8)
+        lines = art.splitlines()
+        assert len(lines) == 8
+        # Row 2 fully read, everything else empty.
+        assert "●" in lines[2] and lines[2].count("●") == 8
+        assert all("●" not in ln for k, ln in enumerate(lines) if k != 2)
+
+    def test_render_b_column(self):
+        art = render_footprint("standard", 2, 3, "B", 8)
+        for ln in art.splitlines():
+            assert ln.split()[3] == "●"
+
+    def test_footprints_at_n4_and_n16(self):
+        # The recursion must behave at other sizes too.
+        for n in (2, 4, 16):
+            counts = footprint_counts("standard", n)
+            assert (counts["A"] == n).all()

@@ -1,0 +1,125 @@
+"""Whole-matrix operations on recursive layouts (repro.matrix.ops)."""
+
+import numpy as np
+import pytest
+
+from repro.matrix import TiledMatrix, Tiling, from_tiled, ops, to_tiled
+from tests.conftest import ALL_RECURSIVE
+
+
+def _pair(rng, curve="LZ", m=24, n=20, t=Tiling(2, 6, 5, 24, 20)):
+    a = rng.standard_normal((m, n))
+    b = rng.standard_normal((m, n))
+    return a, b, to_tiled(a, curve, t), to_tiled(b, curve, t)
+
+
+class TestElementwise:
+    @pytest.mark.parametrize("curve", ALL_RECURSIVE)
+    def test_add(self, curve, rng):
+        a, b, ta, tb = _pair(rng, curve)
+        out = ops.add(ta, tb)
+        np.testing.assert_allclose(from_tiled(out), a + b)
+
+    def test_subtract(self, rng):
+        a, b, ta, tb = _pair(rng)
+        np.testing.assert_allclose(from_tiled(ops.subtract(ta, tb)), a - b)
+
+    def test_add_with_out(self, rng):
+        a, b, ta, tb = _pair(rng)
+        out = TiledMatrix.zeros("LZ", 2, 6, 5, 24, 20)
+        r = ops.add(ta, tb, out)
+        assert r is out
+        np.testing.assert_allclose(from_tiled(out), a + b)
+
+    def test_scale_inplace(self, rng):
+        a, _, ta, _ = _pair(rng)
+        r = ops.scale(ta, -2.5)
+        assert r is ta
+        np.testing.assert_allclose(from_tiled(ta), -2.5 * a)
+
+    def test_axpy(self, rng):
+        a, b, ta, tb = _pair(rng)
+        ops.axpy(3.0, ta, tb)
+        np.testing.assert_allclose(from_tiled(tb), b + 3.0 * a)
+
+    def test_axpy_alpha_one(self, rng):
+        a, b, ta, tb = _pair(rng)
+        ops.axpy(1.0, ta, tb)
+        np.testing.assert_allclose(from_tiled(tb), b + a)
+
+    def test_geometry_mismatch(self, rng):
+        _, _, ta, _ = _pair(rng)
+        other = TiledMatrix.zeros("LZ", 2, 5, 6)
+        with pytest.raises(ValueError):
+            ops.add(ta, other)
+        hcurve = TiledMatrix.zeros("LH", 2, 6, 5)
+        with pytest.raises(ValueError):
+            ops.add(ta, hcurve)
+
+
+class TestTranspose:
+    @pytest.mark.parametrize("curve", ALL_RECURSIVE)
+    def test_square_tiles(self, curve, rng):
+        a = rng.standard_normal((32, 32))
+        tm = to_tiled(a, curve, Tiling(2, 8, 8, 32, 32))
+        tt = ops.transpose(tm)
+        np.testing.assert_array_equal(from_tiled(tt), a.T)
+
+    @pytest.mark.parametrize("curve", ["LZ", "LG", "LH"])
+    def test_rectangular_tiles(self, curve, rng):
+        a = rng.standard_normal((12, 20))
+        tm = to_tiled(a, curve, Tiling(2, 3, 5, 12, 20))
+        tt = ops.transpose(tm)
+        assert tt.shape == (20, 12)
+        assert tt.layout.t_r == 5 and tt.layout.t_c == 3
+        np.testing.assert_array_equal(from_tiled(tt), a.T)
+
+    def test_involution(self, rng):
+        a = rng.standard_normal((24, 16))
+        tm = to_tiled(a, "LH", Tiling(2, 6, 4, 24, 16))
+        back = ops.transpose(ops.transpose(tm))
+        np.testing.assert_array_equal(from_tiled(back), a)
+
+    def test_transpose_matches_converted(self, rng):
+        # Same result as converting with the fused-transpose remap.
+        a = rng.standard_normal((16, 24))
+        tm = to_tiled(a, "LG", Tiling(2, 4, 6, 16, 24))
+        t1 = ops.transpose(tm)
+        t2 = to_tiled(a, "LG", Tiling(2, 6, 4, 24, 16), transpose=True)
+        np.testing.assert_array_equal(t1.buf, t2.buf)
+
+
+class TestReductions:
+    def test_frobenius(self, rng):
+        a, _, ta, _ = _pair(rng)
+        assert ops.frobenius_norm(ta) == pytest.approx(np.linalg.norm(a))
+
+    def test_trace_square(self, rng):
+        a = rng.standard_normal((20, 20))
+        tm = to_tiled(a, "LZ", Tiling(2, 5, 5, 20, 20))
+        assert ops.trace(tm) == pytest.approx(np.trace(a))
+
+    def test_trace_rectangular(self, rng):
+        a = rng.standard_normal((12, 20))
+        tm = to_tiled(a, "LH", Tiling(2, 3, 5, 12, 20))
+        assert ops.trace(tm) == pytest.approx(sum(a[i, i] for i in range(12)))
+
+    def test_allclose(self, rng):
+        a, _, ta, _ = _pair(rng)
+        tb = to_tiled(a, "LZ", Tiling(2, 6, 5, 24, 20))
+        assert ops.allclose(ta, tb)
+        ops.scale(tb, 1.0 + 1e-3)
+        assert not ops.allclose(ta, tb)
+
+    def test_getitem_block(self, rng):
+        a = rng.standard_normal((24, 20))
+        tm = to_tiled(a, "LG", Tiling(2, 6, 5, 24, 20))
+        blk = ops.getitem_block(tm, slice(3, 17), slice(2, 19))
+        np.testing.assert_array_equal(blk, a[3:17, 2:19])
+
+    def test_getitem_full(self, rng):
+        a = rng.standard_normal((24, 20))
+        tm = to_tiled(a, "LZ", Tiling(2, 6, 5, 24, 20))
+        np.testing.assert_array_equal(
+            ops.getitem_block(tm, slice(None), slice(None)), a
+        )

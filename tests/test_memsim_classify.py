@@ -1,0 +1,89 @@
+"""3C miss classification (Hill & Smith; the paper's footnote 1)."""
+
+import numpy as np
+import pytest
+
+from repro.memsim.classify import MissBreakdown, classify_misses
+from repro.memsim.machine import CacheGeometry, ultrasparc_like
+
+
+class TestClassification:
+    def test_cold_trace_all_compulsory(self):
+        geom = CacheGeometry(1024, 32, 1)
+        addrs = np.arange(0, 2048, 32)  # 64 distinct lines, touched once
+        b = classify_misses(addrs, geom)
+        assert b.compulsory == 64
+        assert b.capacity == 0 and b.conflict == 0
+
+    def test_thrash_is_conflict(self):
+        # Two lines one cache-size apart: fully-assoc holds both, the
+        # direct-mapped cache misses every time -> pure conflict.
+        geom = CacheGeometry(1024, 32, 1)
+        addrs = np.array([0, 1024] * 50)
+        b = classify_misses(addrs, geom)
+        assert b.compulsory == 2
+        assert b.conflict == 98
+        assert b.capacity == 0
+
+    def test_streaming_oversize_is_capacity(self):
+        # Cyclic sweep over 4x the cache: fully-assoc LRU also misses
+        # everything after the cold pass -> capacity.
+        geom = CacheGeometry(1024, 32, 1)
+        sweep = np.arange(0, 4096, 32)
+        addrs = np.concatenate([sweep, sweep, sweep])
+        b = classify_misses(addrs, geom)
+        assert b.compulsory == 128
+        assert b.capacity == 2 * 128
+        assert b.conflict == 0
+
+    def test_totals_match_cache_sim(self):
+        from repro.memsim.cache import miss_count
+
+        rng = np.random.default_rng(0)
+        geom = CacheGeometry(512, 32, 1)
+        addrs = rng.integers(0, 4096, size=2000)
+        b = classify_misses(addrs, geom)
+        assert b.total == miss_count(addrs, geom)
+        assert b.accesses == 2000
+
+    def test_associative_geometry(self):
+        geom = CacheGeometry(1024, 32, 2)
+        addrs = np.array([0, 1024, 2048] * 30)  # 3-way conflict in 2-way sets
+        b = classify_misses(addrs, geom)
+        assert b.conflict > 0
+
+    def test_empty(self):
+        b = classify_misses(np.array([], dtype=np.int64), CacheGeometry(512, 32, 1))
+        assert b.total == 0
+        assert b.conflict_fraction == 0.0
+
+    def test_breakdown_properties(self):
+        b = MissBreakdown(100, 10, 20, 30)
+        assert b.total == 60
+        assert b.conflict_fraction == pytest.approx(0.5)
+
+
+class TestPaperFootnote:
+    """Footnote 1: the canonical layout's pathological sizes lose to
+    *conflict* misses, which the recursive layouts eliminate."""
+
+    @pytest.mark.slow
+    def test_pathological_n_is_conflict_dominated(self):
+        from repro.memsim.synthetic import dense_standard_events
+        from repro.memsim.trace import expand_trace, trace_multiply
+
+        mach = ultrasparc_like()
+        tile = 16
+
+        def lc_breakdown(n):
+            addrs = expand_trace(dense_standard_events(n, tile), mach)
+            return classify_misses(addrs, mach.l1)
+
+        bad = lc_breakdown(256)
+        good = lc_breakdown(250)
+        assert bad.conflict_fraction > 0.7
+        assert bad.conflict > 10 * good.conflict
+        # The recursive layout at the same size is not conflict-bound.
+        ev, sizes = trace_multiply("standard", "LZ", 256, tile)
+        lz = classify_misses(expand_trace(ev, mach, sizes), mach.l1)
+        assert lz.conflict_fraction < 0.4

@@ -1,0 +1,101 @@
+"""False-sharing analysis (the paper's Section 3 parallel motivation)."""
+
+import numpy as np
+import pytest
+
+from repro.memsim.coherence import assign_by_output, false_sharing_stats
+from repro.memsim.machine import ultrasparc_like
+from repro.memsim.synthetic import dense_standard_events
+from repro.memsim.trace import trace_multiply
+
+
+class TestAssignment:
+    def test_single_processor(self):
+        ev = dense_standard_events(32, 8)
+        owner = assign_by_output(ev, 1, 3, 32, ld=32)
+        assert (owner == 0).all()
+
+    def test_four_quadrants_dense(self):
+        ev = dense_standard_events(32, 8)
+        owner = assign_by_output(ev, 4, 3, 32, ld=32)
+        assert set(owner.tolist()) == {0, 1, 2, 3}
+        # Each processor owns the products of one C quadrant: for the
+        # standard algorithm that is a quarter of all products.
+        counts = np.bincount(owner)
+        assert (counts == len(ev) // 4).all()
+
+    def test_two_processors_row_halves(self):
+        ev = dense_standard_events(32, 8)
+        owner = assign_by_output(ev, 2, 3, 32, ld=32)
+        assert set(owner.tolist()) == {0, 1}
+
+    def test_tiled_assignment_contiguous_quarters(self):
+        ev, sizes = trace_multiply("standard", "LZ", 32, 8)
+        c_space = ev[0].write.space
+        owner = assign_by_output(ev, 4, c_space, 32, tiled_total=sizes[c_space])
+        assert set(owner.tolist()) == {0, 1, 2, 3}
+
+    def test_temp_events_inherit_owner(self):
+        ev, sizes = trace_multiply("strassen", "LZ", 32, 8)
+        c_space = ev[-1].write.space  # post-adds write C
+        owner = assign_by_output(ev, 4, c_space, 32, tiled_total=sizes[c_space])
+        assert len(owner) == len(ev)
+
+    def test_validation(self):
+        ev = dense_standard_events(16, 8)
+        with pytest.raises(ValueError):
+            assign_by_output(ev, 3, 3, 16, ld=16)
+        with pytest.raises(ValueError):
+            assign_by_output(ev, 4, 3, 16)  # neither ld nor tiled_total
+        with pytest.raises(ValueError):
+            assign_by_output(ev, 4, 3, 16, ld=16, tiled_total=256)
+
+
+class TestFalseSharing:
+    def test_aligned_boundaries_share_nothing(self):
+        # n divisible so quadrant boundaries align with 32-byte lines.
+        mach = ultrasparc_like()
+        ev = dense_standard_events(64, 8)
+        owner = assign_by_output(ev, 4, 3, 64, ld=64)
+        st = false_sharing_stats(ev, owner, mach)
+        assert st.shared_lines == 0
+        assert st.invalidations == 0
+
+    def test_unaligned_boundary_false_shares(self):
+        # Odd n: the i = n/2 quadrant boundary falls mid-line, so lines
+        # straddle two processors' quadrants — the paper's false sharing.
+        mach = ultrasparc_like()
+        n = 61
+        ev = dense_standard_events(n, 8)
+        owner = assign_by_output(ev, 4, 3, n, ld=n)
+        st = false_sharing_stats(ev, owner, mach)
+        assert st.shared_lines > 0
+        assert st.false_shared_lines == st.shared_lines  # no true sharing
+        assert st.invalidations > 0
+
+    def test_recursive_layout_immune(self):
+        # Quadrants are contiguous in the recursive layout, so the same
+        # odd n causes no write sharing at all.
+        mach = ultrasparc_like()
+        n = 61
+        ev, sizes = trace_multiply("standard", "LZ", n, 8)
+        c_space = ev[0].write.space
+        owner = assign_by_output(ev, 4, c_space, n, tiled_total=sizes[c_space])
+        st = false_sharing_stats(ev, owner, mach, sizes)
+        assert st.shared_lines == 0
+
+    def test_two_processors_share_less_than_four(self):
+        mach = ultrasparc_like()
+        n = 61
+        ev = dense_standard_events(n, 8)
+        o4 = assign_by_output(ev, 4, 3, n, ld=n)
+        o2 = assign_by_output(ev, 2, 3, n, ld=n)
+        s4 = false_sharing_stats(ev, o4, mach)
+        s2 = false_sharing_stats(ev, o2, mach)
+        assert s2.shared_lines <= s4.shared_lines
+
+    def test_shared_fraction(self):
+        from repro.memsim.coherence import SharingStats
+
+        st = SharingStats(4, 100, 10, 8, 30)
+        assert st.shared_fraction == 0.1

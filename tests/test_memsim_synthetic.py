@@ -1,0 +1,115 @@
+"""Synthetic canonical-baseline trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.memsim.synthetic import dense_standard_events, dense_strassen_events
+from repro.memsim.trace import expand_trace
+from repro.memsim.machine import ultrasparc_like
+from repro.memsim.hierarchy import simulate_hierarchy
+
+
+class TestDenseStandard:
+    def test_leaf_count_power_of_two(self):
+        ev = dense_standard_events(64, 16)
+        assert len(ev) == 4**3  # (64/16)^3 products
+
+    def test_covers_all_of_c(self):
+        n, t = 48, 16
+        ev = dense_standard_events(n, t)
+        cover = np.zeros((n, n), dtype=int)
+        for e in ev:
+            w = e.write
+            i0 = w.start % n
+            j0 = w.start // n
+            cover[i0 : i0 + w.rows, j0 : j0 + w.cols] += 1
+        # Each C block is written once per k-block: n/t times.
+        assert (cover == n // t).all()
+
+    def test_uneven_sizes(self):
+        # n not a multiple of the tile exercises the peeling splits.
+        ev = dense_standard_events(50, 16)
+        total_c = sum(e.write.n_elements for e in ev)
+        # every leaf covers part of C; all of C covered ceil(50/16)+ times
+        assert total_c >= 50 * 50
+
+    def test_leaf_blocks_bounded_by_tile(self):
+        for e in dense_standard_events(70, 16):
+            assert e.write.rows <= 16 and e.write.cols <= 16
+            for r in e.reads:
+                assert r.rows <= 16 and r.cols <= 16
+
+    def test_custom_ld(self):
+        ev = dense_standard_events(32, 16, ld=100)
+        assert all(e.write.col_stride == 100 for e in ev)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dense_standard_events(0, 16)
+
+
+class TestDenseStrassen:
+    def test_small_falls_back_to_standard(self):
+        ev = dense_strassen_events(16, 16)
+        assert len(ev) == 1 and ev[0].kind == "mul"
+
+    def test_has_pre_and_post_adds(self):
+        # Each non-leaf level contributes 10 pre-additions and 4 post-
+        # addition combines: levels are 1 (top) + 7 (half-size) = 8.
+        ev = dense_strassen_events(64, 16)
+        adds = [e for e in ev if e.kind == "add"]
+        assert len(adds) == 8 * 14
+
+    def test_product_count(self):
+        # depth: 64 -> 32 -> 16(leaf): 7 products per level => 49 leaves.
+        ev = dense_strassen_events(64, 16)
+        muls = [e for e in ev if e.kind == "mul"]
+        assert len(muls) == 49
+
+    def test_top_level_operands_strided_temps_contiguous(self):
+        ev = dense_strassen_events(64, 16)
+        adds = [e for e in ev if e.kind == "add"]
+        # Pre-additions read the original matrices (spaces 1/2) strided.
+        first_pre = adds[0]
+        assert all(r.col_stride == 64 for r in first_pre.reads)
+        assert first_pre.write.cols == 1  # contiguous temp
+
+    def test_leading_dimension_halves(self):
+        # Products below the top level run on halved-ld temporaries: the
+        # paper's Section 5.1 robustness mechanism.
+        ev = dense_strassen_events(64, 16)
+        muls = [e for e in ev if e.kind == "mul"]
+        strides = {r.col_stride for e in muls for r in e.reads if r.cols > 1}
+        assert strides == {64, 32, 16}  # original, half temp, leaf temp
+
+    def test_expandable(self):
+        mach = ultrasparc_like()
+        ev = dense_strassen_events(64, 16)
+        addrs = expand_trace(ev, mach)
+        assert len(addrs) > 0
+        st = simulate_hierarchy(addrs, mach, include_tlb=False)
+        assert st.l1_misses > 0
+
+
+class TestRobustnessShape:
+    """The core Figure 5 claim, at reduced scale."""
+
+    @pytest.mark.slow
+    def test_standard_lc_swings_strassen_flat(self):
+        # Straddle the pathological n=128 (column stride aliasing the
+        # direct-mapped L1) with a pinned tile-grid regime.
+        mach = ultrasparc_like()
+        tile, depth = 16, 3
+        std_cpf, str_cpf = [], []
+        for n in (120, 124, 128, 132, 136):
+            flops = 2.0 * n**3
+            ev = dense_standard_events(n, tile)
+            std_cpf.append(
+                simulate_hierarchy(expand_trace(ev, mach), mach).cycles / flops
+            )
+            ev = dense_strassen_events(n, tile, depth=depth)
+            str_cpf.append(
+                simulate_hierarchy(expand_trace(ev, mach), mach).cycles / flops
+            )
+        rel = lambda xs: (max(xs) - min(xs)) / min(xs)  # noqa: E731
+        assert rel(std_cpf) > 2 * rel(str_cpf)

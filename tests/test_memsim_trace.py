@@ -1,0 +1,141 @@
+"""Trace recording from real executions, and address expansion."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.opcount import op_count
+from repro.memsim.machine import ultrasparc_like
+from repro.memsim.trace import (
+    AddressSpace,
+    Region,
+    TraceContext,
+    expand_trace,
+    region_line_addresses,
+    trace_multiply,
+    view_region,
+)
+
+
+class TestRegion:
+    def test_contiguous(self):
+        r = Region(1, 10, 64)
+        assert r.n_elements == 64
+        assert r.cols == 1
+
+    def test_strided(self):
+        r = Region(1, 0, 8, 4, 100)
+        assert r.n_elements == 32
+
+
+class TestViewRegion:
+    def test_quadview(self):
+        from repro.matrix.tiledmatrix import TiledMatrix
+
+        tm = TiledMatrix.zeros("LZ", 2, 4, 4)
+        q = tm.root_view().quadrant(1, 1)
+        r = view_region(q)
+        assert r.space == id(tm.buf)
+        assert r.start == q.tile_off * 16
+        assert r.n_elements == 4 * 16
+        assert r.cols == 1
+
+    def test_denseview_fortran(self):
+        from repro.matrix.tiledmatrix import DenseMatrix
+
+        dm = DenseMatrix.zeros(2, 4, 4)  # 16 x 16, F order
+        q = dm.root_view().quadrant(1, 0)
+        r = view_region(q)
+        assert r.rows == 8 and r.cols == 8
+        assert r.start == 8  # rows 8.. of column 0
+        assert r.col_stride == 16
+
+    def test_denseview_offset_column(self):
+        from repro.matrix.tiledmatrix import DenseMatrix
+
+        dm = DenseMatrix.zeros(2, 4, 4)
+        q = dm.root_view().quadrant(0, 1)
+        r = view_region(q)
+        assert r.start == 8 * 16  # column 8, row 0
+
+
+class TestTraceContext:
+    def test_counts_match_opcount(self):
+        for algo in ("standard", "strassen", "winograd"):
+            events, _ = trace_multiply(algo, "LZ", 32, 8)
+            muls = sum(1 for e in events if e.kind == "mul")
+            expect = op_count(algo, 32, 8, accumulate=True)
+            assert muls == expect.leaf_multiplies, algo
+            add_elems = sum(
+                e.write.n_elements for e in events if e.kind == "add"
+            )
+            assert add_elems == expect.add_elements, algo
+
+    def test_lc_events(self):
+        events, _ = trace_multiply("standard", "LC", 32, 8)
+        muls = [e for e in events if e.kind == "mul"]
+        assert len(muls) == 64
+        # Canonical leaves are strided 8x8 blocks.
+        assert muls[0].write.rows == 8 and muls[0].write.cols == 8
+
+    def test_no_arithmetic_performed(self):
+        # The tracing context must not corrupt numbers: its kernel is a
+        # no-op, so output of a traced run on real data stays zero.
+        from repro.algorithms.standard import standard_multiply
+        from repro.matrix.tiledmatrix import TiledMatrix
+
+        ctx = TraceContext()
+        c = TiledMatrix.zeros("LZ", 1, 4, 4)
+        a = TiledMatrix.zeros("LZ", 1, 4, 4)
+        b = TiledMatrix.zeros("LZ", 1, 4, 4)
+        a.buf[:] = 1.0
+        b.buf[:] = 1.0
+        standard_multiply(c.root_view(), a.root_view(), b.root_view(), ctx)
+        assert (c.buf == 0).all()
+        assert len(ctx.events) == 8
+
+
+class TestAddressSpace:
+    def test_page_aligned_disjoint(self):
+        mach = ultrasparc_like()
+        sp = AddressSpace(mach)
+        b1 = sp.base(111, 100_000)
+        b2 = sp.base(222, 100_000)
+        assert b1 % mach.page == 0 and b2 % mach.page == 0
+        assert abs(b2 - b1) >= 100_000
+
+    def test_stable(self):
+        sp = AddressSpace(ultrasparc_like())
+        assert sp.base(5) == sp.base(5)
+
+
+class TestLineAddresses:
+    def test_contiguous_region(self):
+        mach = ultrasparc_like()  # 32-byte L1 lines, 8-byte items
+        r = Region(1, 0, 16)  # 128 bytes = 4 lines
+        lines = region_line_addresses(r, 0, mach)
+        np.testing.assert_array_equal(lines, [0, 32, 64, 96])
+
+    def test_unaligned_start(self):
+        mach = ultrasparc_like()
+        r = Region(1, 2, 4)  # bytes 16..48: lines 0 and 32
+        lines = region_line_addresses(r, 0, mach)
+        np.testing.assert_array_equal(lines, [0, 32])
+
+    def test_strided_region(self):
+        mach = ultrasparc_like()
+        r = Region(1, 0, 4, 2, 100)  # two columns of 4 elems, 800B apart
+        lines = region_line_addresses(r, 0, mach)
+        assert lines[0] == 0
+        assert 800 - 800 % 32 in lines
+
+    def test_expand_concatenates(self):
+        events, sizes = trace_multiply("standard", "LZ", 16, 8)
+        mach = ultrasparc_like()
+        addrs = expand_trace(events, mach, sizes)
+        # Per leaf, the reuse-aware model makes one pass per C column
+        # (8): the full A tile (16 lines) + one B column (2 lines) + one
+        # C column (2 lines) = 8 * 20 accesses; 8 leaves total.
+        assert len(addrs) == 8 * 8 * (16 + 2 + 2)
+
+    def test_empty(self):
+        assert expand_trace([], ultrasparc_like()).size == 0

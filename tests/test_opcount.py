@@ -1,0 +1,137 @@
+"""Operation-count recurrences, cross-checked against instrumentation."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.opcount import crossover_depth, op_count
+
+
+class TestStandard:
+    def test_flops_are_2n3(self):
+        for n, t in [(64, 8), (128, 16), (1024, 32)]:
+            oc = op_count("standard", n, t)
+            assert oc.multiply_flops == 2 * n**3
+            assert oc.add_elements == 0
+
+    def test_leaf_count(self):
+        oc = op_count("standard", 128, 16)
+        assert oc.leaf_multiplies == 8**3
+
+
+class TestStrassen:
+    def test_leaf_count_is_7_to_d(self):
+        oc = op_count("strassen", 256, 16)
+        assert oc.leaf_multiplies == 7**4
+
+    def test_adds_recurrence(self):
+        # One level: 18 quadrant additions of (n/2)^2 elements.
+        oc = op_count("strassen", 32, 16)
+        assert oc.add_elements == 18 * 16 * 16
+
+    def test_two_levels(self):
+        oc = op_count("strassen", 64, 16)
+        assert oc.add_elements == 7 * (18 * 256) + 18 * 32 * 32
+
+    def test_asymptotically_fewer_flops(self):
+        big_std = op_count("standard", 4096, 16)
+        big_str = op_count("strassen", 4096, 16)
+        assert big_str.total_flops < big_std.total_flops
+
+
+class TestWinograd:
+    def test_fewer_adds_than_strassen(self):
+        # 15 vs 18 additions per level, same 7 products.
+        for n in (64, 256, 1024):
+            w = op_count("winograd", n, 16)
+            s = op_count("strassen", n, 16)
+            assert w.leaf_multiplies == s.leaf_multiplies
+            assert w.add_elements == s.add_elements * 15 // 18
+
+    def test_winograd_is_minimum(self):
+        oc = op_count("winograd", 32, 16)
+        assert oc.add_elements == 15 * 256
+
+
+class TestValidation:
+    def test_bad_algorithm(self):
+        with pytest.raises(KeyError):
+            op_count("karatsuba", 64, 8)
+
+    def test_non_multiple(self):
+        with pytest.raises(ValueError):
+            op_count("standard", 100, 16)
+
+    def test_non_power_ratio(self):
+        with pytest.raises(ValueError):
+            op_count("standard", 48, 16)
+
+    def test_depth_zero(self):
+        oc = op_count("strassen", 16, 16)
+        assert oc.leaf_multiplies == 1
+        assert oc.add_elements == 0
+
+
+class TestCrossover:
+    def test_crossover_exists_and_is_small(self):
+        d = crossover_depth(16)
+        assert 1 <= d <= 4
+
+    def test_larger_tiles_cross_no_later(self):
+        # Bigger leaves amortize the O(n^2) adds faster.
+        assert crossover_depth(64) <= crossover_depth(4)
+
+
+class TestAgainstInstrumentation:
+    """The analytic recurrences must match what the real code does."""
+
+    @pytest.mark.parametrize("algo", ["standard", "strassen", "winograd"])
+    @pytest.mark.parametrize("curve", ["LZ", "LH"])
+    def test_multiply_counts(self, algo, curve, rng):
+        from repro.algorithms.dgemm import ALGORITHMS
+        from repro.kernels import instrument
+        from repro.matrix.tiledmatrix import TiledMatrix
+
+        n, t, d = 32, 8, 2
+        c = TiledMatrix.zeros(curve, d, t, t)
+        a = TiledMatrix.zeros(curve, d, t, t)
+        b = TiledMatrix.zeros(curve, d, t, t)
+        with instrument.collect() as got:
+            ALGORITHMS[algo](c.root_view(), a.root_view(), b.root_view())
+        expect = op_count(algo, n, t)
+        assert got.multiply_flops == expect.multiply_flops
+        assert got.leaf_multiplies == expect.leaf_multiplies
+
+    @pytest.mark.parametrize("accumulate", [False, True])
+    @pytest.mark.parametrize("algo", ["strassen", "winograd"])
+    def test_pre_post_add_counts(self, algo, accumulate):
+        # The streamed-addition totals must match the paper's 18/15
+        # additions-per-level recurrences exactly (overwrite semantics);
+        # beta=1 at the top costs 4 extra quadrant streams.
+        from repro.algorithms.dgemm import ALGORITHMS
+        from repro.kernels import instrument
+        from repro.matrix.tiledmatrix import TiledMatrix
+
+        n, t, d = 32, 8, 2
+        c = TiledMatrix.zeros("LZ", d, t, t)
+        a = TiledMatrix.zeros("LZ", d, t, t)
+        b = TiledMatrix.zeros("LZ", d, t, t)
+        with instrument.collect() as got:
+            ALGORITHMS[algo](c.root_view(), a.root_view(), b.root_view(),
+                             accumulate=accumulate)
+        expect = op_count(algo, n, t, accumulate=accumulate)
+        assert got.add_elements == expect.add_elements
+
+    def test_standard_temps_add_counts(self):
+        from repro.algorithms.standard import standard_multiply
+        from repro.kernels import instrument
+        from repro.matrix.tiledmatrix import TiledMatrix
+
+        n, t, d = 32, 8, 2
+        c = TiledMatrix.zeros("LZ", d, t, t)
+        a = TiledMatrix.zeros("LZ", d, t, t)
+        b = TiledMatrix.zeros("LZ", d, t, t)
+        with instrument.collect() as got:
+            standard_multiply(c.root_view(), a.root_view(), b.root_view(),
+                              mode="temps", accumulate=False)
+        expect = op_count("standard_temps", n, t)
+        assert got.add_elements == expect.add_elements

@@ -1,0 +1,59 @@
+"""Parallel layout conversion and the modern machine model."""
+
+import numpy as np
+import pytest
+
+from repro.matrix import Tiling, from_tiled, to_tiled
+from repro.memsim.machine import modern_like, ultrasparc_like
+from repro.runtime import SerialRuntime, ThreadRuntime, TraceRuntime
+
+
+class TestParallelConversion:
+    def test_matches_serial_gather(self, rng):
+        a = rng.standard_normal((64, 64))
+        t = Tiling(3, 8, 8, 64, 64)
+        serial = to_tiled(a, "LH", t)
+        with ThreadRuntime(n_workers=2) as rt:
+            parallel = to_tiled(a, "LH", t, rt=rt)
+        np.testing.assert_array_equal(parallel.buf, serial.buf)
+
+    def test_roundtrip(self, rng):
+        a = rng.standard_normal((40, 56))
+        t = Tiling(3, 5, 7, 40, 56)
+        tm = to_tiled(a, "LZ", t, rt=SerialRuntime())
+        np.testing.assert_array_equal(from_tiled(tm), a)
+
+    def test_spawn_structure_recorded(self, rng):
+        a = rng.standard_normal((32, 32))
+        t = Tiling(2, 8, 8, 32, 32)
+        rt = TraceRuntime()
+        to_tiled(a, "LZ", t, rt=rt)
+        parallel_nodes = [ch for ch in rt.root.children if ch.kind == "parallel"]
+        assert parallel_nodes
+        assert len(parallel_nodes[0].children) == 4  # four remap chunks
+
+    def test_with_transpose(self, rng):
+        a = rng.standard_normal((24, 32))
+        t = Tiling(2, 8, 6, 32, 24)
+        tm = to_tiled(a, "LG", t, transpose=True, rt=SerialRuntime())
+        np.testing.assert_array_equal(from_tiled(tm), a.T)
+
+
+class TestModernMachine:
+    def test_geometry(self):
+        m = modern_like()
+        assert m.l1.assoc == 8
+        assert m.l1.size == 32 * 1024
+        assert m.l2.assoc == 8
+
+    def test_absorbs_direct_mapped_thrash(self):
+        from repro.memsim.hierarchy import simulate_hierarchy
+
+        us, mo = ultrasparc_like(), modern_like()
+        # Two-line ping-pong one L1-size apart: direct-mapped thrashes,
+        # 8-way holds both.
+        addrs = np.array([0, us.l1.size] * 200)
+        st_us = simulate_hierarchy(addrs, us, include_tlb=False)
+        st_mo = simulate_hierarchy(addrs, mo, include_tlb=False)
+        assert st_us.l1_misses == 400
+        assert st_mo.l1_misses == 2

@@ -1,0 +1,139 @@
+"""Second round of property-based tests: algorithm-level and memsim
+invariants under randomized configurations."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.matrix.tile import TileRange, Tiling
+from repro.matrix.convert import from_tiled, to_tiled
+from repro.matrix.tiledmatrix import TiledMatrix
+
+LAYOUTS = st.sampled_from(["LU", "LX", "LZ", "LG", "LH"])
+
+
+class TestAlgorithmProperties:
+    @settings(deadline=None, max_examples=20)
+    @given(
+        LAYOUTS,
+        st.sampled_from(["standard", "strassen", "winograd", "strassen_space"]),
+        st.integers(1, 3),  # grid order d
+        st.integers(2, 6),  # tile side
+        st.integers(0, 10**6),
+    )
+    def test_linearity_in_b(self, layout, algo, d, t, seed):
+        # C(A, B1 + B2) == C(A, B1) + C(A, B2): multiplication is linear,
+        # so any scheduling/orientation bug that misroutes a quadrant
+        # breaks this for some random configuration.
+        from repro.algorithms.dgemm import ALGORITHMS
+
+        n = t << d
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((n, n))
+        b1 = rng.standard_normal((n, n))
+        b2 = rng.standard_normal((n, n))
+        tiling = Tiling(d, t, t, n, n)
+
+        def run(bmat):
+            A = to_tiled(a, layout, tiling)
+            B = to_tiled(bmat, layout, tiling)
+            C = TiledMatrix.zeros(layout, d, t, t, n, n)
+            ALGORITHMS[algo](C.root_view(), A.root_view(), B.root_view())
+            return from_tiled(C)
+
+        np.testing.assert_allclose(
+            run(b1 + b2), run(b1) + run(b2), atol=1e-8
+        )
+
+    @settings(deadline=None, max_examples=20)
+    @given(LAYOUTS, st.integers(1, 3), st.integers(2, 5), st.integers(0, 10**6))
+    def test_transpose_product_identity(self, layout, d, t, seed):
+        # (A.B)^T == B^T.A^T through the layout-resident transpose.
+        from repro.algorithms.standard import standard_multiply
+        from repro.matrix import ops
+
+        n = t << d
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        tiling = Tiling(d, t, t, n, n)
+        A = to_tiled(a, layout, tiling)
+        B = to_tiled(b, layout, tiling)
+        C = TiledMatrix.zeros(layout, d, t, t, n, n)
+        standard_multiply(C.root_view(), A.root_view(), B.root_view())
+        lhs = from_tiled(ops.transpose(C))
+        Ct = TiledMatrix.zeros(layout, d, t, t, n, n)
+        standard_multiply(
+            Ct.root_view(),
+            ops.transpose(B).root_view(),
+            ops.transpose(A).root_view(),
+        )
+        np.testing.assert_allclose(lhs, from_tiled(Ct), atol=1e-9)
+
+    @settings(deadline=None, max_examples=15)
+    @given(
+        st.integers(8, 64),
+        st.integers(8, 64),
+        st.integers(0, 10**6),
+    )
+    def test_gemv_consistent_with_gemm(self, m, n, seed):
+        # A.x via gemv == (A.X)[:, 0] via dgemm with X = [x | 0...].
+        from repro.algorithms.dgemm import dgemm
+        from repro.algorithms.gemv import matvec
+
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((m, n))
+        x = rng.standard_normal(n)
+        # Build a tiling directly (select_tiling has integer-rounding
+        # gaps for some aspect ratios; geometry here is arbitrary).
+        d = 2
+        tiling = Tiling(d, -(-m // (1 << d)), -(-n // (1 << d)), m, n)
+        tm = to_tiled(a, "LZ", tiling)
+        via_gemv = matvec(tm, x)
+        xmat = np.zeros((n, 4))
+        xmat[:, 0] = x
+        via_gemm = dgemm(a, xmat, trange=TileRange(4, 8)).c[:, 0]
+        np.testing.assert_allclose(via_gemv, via_gemm, atol=1e-9)
+
+
+class TestMemsimProperties:
+    @settings(deadline=None, max_examples=25)
+    @given(
+        st.lists(st.integers(0, 1 << 16), min_size=1, max_size=400),
+        st.sampled_from([(512, 32, 1), (1024, 32, 2), (2048, 64, 4)]),
+    )
+    def test_miss_count_monotone_in_associativity(self, addrs, geom_spec):
+        # LRU inclusion property: more ways never miss more.
+        from repro.memsim.cache import simulate_lru
+        from repro.memsim.machine import CacheGeometry
+
+        size, line, assoc = geom_spec
+        addrs = np.array(addrs, dtype=np.int64)
+        lo = simulate_lru(addrs, CacheGeometry(size, line, assoc)).sum()
+        hi = simulate_lru(addrs, CacheGeometry(size * 2, line, assoc * 2)).sum()
+        assert hi <= lo
+
+    @settings(deadline=None, max_examples=25)
+    @given(st.lists(st.integers(0, 1 << 14), min_size=1, max_size=300))
+    def test_3c_decomposition_sums_to_misses(self, addrs):
+        from repro.memsim.cache import miss_count
+        from repro.memsim.classify import classify_misses
+        from repro.memsim.machine import CacheGeometry
+
+        geom = CacheGeometry(512, 32, 1)
+        addrs = np.array(addrs, dtype=np.int64)
+        b = classify_misses(addrs, geom)
+        assert b.total == miss_count(addrs, geom)
+        assert b.compulsory == len(np.unique(addrs // geom.line))
+
+    @settings(deadline=None, max_examples=15)
+    @given(st.integers(8, 40), st.integers(2, 8), st.integers(0, 10**6))
+    def test_trace_is_deterministic(self, n, t, seed):
+        from repro.memsim.machine import ultrasparc_like
+        from repro.memsim.trace import expand_trace, trace_multiply
+
+        mach = ultrasparc_like()
+        e1, s1 = trace_multiply("standard", "LZ", n, t)
+        e2, s2 = trace_multiply("standard", "LZ", n, t)
+        np.testing.assert_array_equal(
+            expand_trace(e1, mach, s1), expand_trace(e2, mach, s2)
+        )

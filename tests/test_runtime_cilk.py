@@ -1,0 +1,121 @@
+"""Cilk-style runtimes: serial, tracing, threaded."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.cilk import CostModel, SerialRuntime, ThreadRuntime, TraceRuntime
+from repro.runtime.task import span, work
+
+
+class TestCostModel:
+    def test_multiply(self):
+        cm = CostModel(flop=2.0)
+        assert cm.multiply(4, 5, 6) == 2 * 4 * 5 * 6 * 2.0
+
+    def test_streamed(self):
+        cm = CostModel(stream=3.0)
+        assert cm.streamed(100) == 300.0
+
+
+class TestSerialRuntime:
+    def test_executes_in_order(self):
+        rt = SerialRuntime()
+        order = []
+        rt.spawn_all([lambda: order.append(1), lambda: order.append(2)])
+        assert order == [1, 2]
+
+    def test_returns_results(self):
+        rt = SerialRuntime()
+        assert rt.spawn_all([lambda: "a", lambda: "b"]) == ["a", "b"]
+
+    def test_cost_hooks_are_noops(self):
+        rt = SerialRuntime()
+        rt.task_multiply(2, 2, 2)
+        rt.task_stream(100)
+
+
+class TestTraceRuntime:
+    def test_records_parallel_structure(self):
+        cm = CostModel(flop=1.0, stream=1.0, spawn=0.0)
+        rt = TraceRuntime(cm)
+
+        def task():
+            rt.task_multiply(2, 2, 2)  # cost 16
+
+        rt.spawn_all([task, task, task])
+        assert work(rt.root) == 48
+        assert span(rt.root) == 16
+
+    def test_nested_spawns(self):
+        cm = CostModel(spawn=0.0)
+        rt = TraceRuntime(cm)
+
+        def inner():
+            rt.task_stream(10)  # cost 40 with default stream=4
+
+        def outer():
+            rt.spawn_all([inner, inner])
+            rt.task_stream(10)
+
+        rt.spawn_all([outer, outer])
+        # each outer: parallel(40, 40) then 40 -> span 80; two in parallel.
+        assert span(rt.root) == 80.0
+        assert work(rt.root) == 240.0
+
+    def test_spawn_cost_charged(self):
+        rt = TraceRuntime(CostModel(spawn=7.0))
+        rt.spawn_all([lambda: None, lambda: None])
+        assert work(rt.root) == 14.0
+
+    def test_results_order_preserved(self):
+        rt = TraceRuntime()
+        assert rt.spawn_all([lambda: 1, lambda: 2, lambda: 3]) == [1, 2, 3]
+
+    def test_exception_restores_context(self):
+        rt = TraceRuntime()
+        with pytest.raises(RuntimeError):
+            rt.spawn_all([lambda: (_ for _ in ()).throw(RuntimeError("boom"))])
+        # Context must be back at root: new tasks attach at top level.
+        rt.task_stream(1)
+        assert rt.root.children[-1].kind == "leaf"
+
+
+class TestThreadRuntime:
+    def test_matches_serial_result(self, rng):
+        a = rng.standard_normal((64, 64))
+        b = rng.standard_normal((64, 64))
+        pieces = [(a[:32], b), (a[32:], b)]
+        with ThreadRuntime(n_workers=2) as rt:
+            got = rt.spawn_all([lambda p=p: p[0] @ p[1] for p in pieces])
+        np.testing.assert_allclose(np.vstack(got), a @ b)
+
+    def test_nested_runs_serially(self):
+        events = []
+        with ThreadRuntime(n_workers=2, max_depth=1) as rt:
+            def outer(tag):
+                rt.spawn_all([lambda: events.append(tag)])
+                return tag
+
+            assert rt.spawn_all([lambda: outer("x"), lambda: outer("y")]) == [
+                "x",
+                "y",
+            ] or sorted(events) == ["x", "y"]
+        assert sorted(events) == ["x", "y"]
+
+    def test_full_multiply_through_thread_runtime(self, rng):
+        from repro.algorithms.dgemm import dgemm
+        from repro.matrix.tile import TileRange
+
+        a = rng.standard_normal((32, 32))
+        b = rng.standard_normal((32, 32))
+        with ThreadRuntime(n_workers=2) as rt:
+            r = dgemm(a, b, rt=rt, trange=TileRange(8, 16))
+        np.testing.assert_allclose(r.c, a @ b, atol=1e-10)
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            ThreadRuntime(n_workers=0)
+
+    def test_single_thunk_runs_inline(self):
+        with ThreadRuntime(n_workers=2) as rt:
+            assert rt.spawn_all([lambda: 42]) == [42]

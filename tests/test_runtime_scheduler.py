@@ -1,0 +1,122 @@
+"""Scheduler simulations: Brent's bound, determinism, scaling shape."""
+
+import pytest
+
+from repro.runtime.scheduler import greedy_makespan, work_stealing_makespan
+from repro.runtime.task import leaf, parallel, series, span, to_dag, work
+
+
+def _wide_dag(n=64, cost=10.0):
+    return to_dag(parallel(*[leaf(cost) for _ in range(n)]))
+
+
+def _chain_dag(n=16, cost=5.0):
+    return to_dag(series(*[leaf(cost) for _ in range(n)]))
+
+
+def _matmul_like_tree(depth=3, leaf_cost=100.0):
+    if depth == 0:
+        return leaf(leaf_cost)
+    return series(
+        parallel(*[_matmul_like_tree(depth - 1, leaf_cost) for _ in range(4)]),
+        parallel(*[_matmul_like_tree(depth - 1, leaf_cost) for _ in range(4)]),
+    )
+
+
+class TestGreedy:
+    def test_single_worker_is_total_work(self):
+        dag = _wide_dag(10, 3.0)
+        res = greedy_makespan(dag, 1)
+        assert res.makespan == 30.0
+        assert res.utilization == 1.0
+
+    def test_embarrassingly_parallel(self):
+        dag = _wide_dag(64, 10.0)
+        res = greedy_makespan(dag, 8)
+        assert res.makespan == 80.0
+
+    def test_chain_cannot_speed_up(self):
+        dag = _chain_dag(16, 5.0)
+        for p in (1, 2, 8):
+            assert greedy_makespan(dag, p).makespan == 80.0
+
+    @pytest.mark.parametrize("p", [1, 2, 4, 8])
+    def test_brents_bound(self, p):
+        tree = _matmul_like_tree(3)
+        dag = to_dag(tree)
+        t1, tinf = work(tree), span(tree)
+        res = greedy_makespan(dag, p)
+        assert res.makespan <= t1 / p + tinf + 1e-9
+        assert res.makespan >= max(t1 / p, tinf) - 1e-9
+
+    def test_busy_time_equals_work(self):
+        tree = _matmul_like_tree(2)
+        res = greedy_makespan(to_dag(tree), 3)
+        assert res.busy_time == pytest.approx(work(tree))
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            greedy_makespan(_wide_dag(4), 0)
+
+
+class TestWorkStealing:
+    def test_deterministic_given_seed(self):
+        dag = _wide_dag(32, 7.0)
+        a = work_stealing_makespan(dag, 4, seed=42)
+        b = work_stealing_makespan(dag, 4, seed=42)
+        assert a.makespan == b.makespan
+        assert a.steals == b.steals
+
+    def test_completes_all_work(self):
+        tree = _matmul_like_tree(3)
+        res = work_stealing_makespan(to_dag(tree), 4)
+        assert res.busy_time == pytest.approx(work(tree))
+
+    def test_near_linear_for_matmul_shape(self):
+        # The paper observed near-perfect scalability on 4 processors.
+        tree = _matmul_like_tree(4, leaf_cost=1000.0)
+        dag = to_dag(tree)
+        t1 = work(tree)
+        for p in (2, 4):
+            res = work_stealing_makespan(dag, p, steal_cost=10.0)
+            speedup = t1 / res.makespan
+            assert speedup > 0.85 * p, (p, speedup)
+
+    def test_steal_cost_hurts(self):
+        dag = _wide_dag(32, 5.0)
+        cheap = work_stealing_makespan(dag, 4, steal_cost=1.0, seed=1)
+        dear = work_stealing_makespan(dag, 4, steal_cost=500.0, seed=1)
+        assert dear.makespan >= cheap.makespan
+
+    def test_single_worker_needs_seeded_root(self):
+        # All roots land in worker 0's deque; no steals needed.
+        dag = _chain_dag(4, 2.0)
+        res = work_stealing_makespan(dag, 1)
+        assert res.makespan == 8.0
+        assert res.steals == 0
+
+    def test_counts_steals(self):
+        # A single-root tree forces idle workers to steal (a wide DAG's
+        # roots are pre-distributed, so use fork-from-one-task shape).
+        tree = series(leaf(1.0), parallel(*[leaf(10.0) for _ in range(16)]))
+        res = work_stealing_makespan(to_dag(tree), 4, seed=3)
+        assert res.steals > 0
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            work_stealing_makespan(_wide_dag(4), 0)
+
+
+class TestRealAlgorithmDags:
+    @pytest.mark.parametrize("algorithm", ["standard", "strassen", "winograd"])
+    def test_scaling_from_traced_algorithm(self, algorithm):
+        from repro.analysis.experiments import simulated_speedups
+        from repro.matrix.tile import TileRange
+
+        sp = simulated_speedups(
+            algorithm, 64, trange=TileRange(8, 16), procs=(1, 2, 4)
+        )
+        assert sp[1] == 1.0
+        assert sp[2] > 1.5
+        assert sp[4] > 2.5
+        assert sp[4] > sp[2]

@@ -1,0 +1,112 @@
+"""Series-parallel cost trees: work, span, DAG lowering."""
+
+import pytest
+
+from repro.runtime.task import (
+    SPNode,
+    leaf,
+    parallel,
+    series,
+    span,
+    to_dag,
+    work,
+)
+
+
+class TestConstruction:
+    def test_leaf(self):
+        n = leaf(5.0, "x")
+        assert n.kind == "leaf" and n.cost == 5.0 and n.label == "x"
+
+    def test_negative_cost(self):
+        with pytest.raises(ValueError):
+            leaf(-1.0)
+
+    def test_leaf_cannot_have_children(self):
+        with pytest.raises(ValueError):
+            leaf(1.0).add(leaf(2.0))
+
+    def test_n_leaves(self):
+        t = series(leaf(1), parallel(leaf(2), leaf(3)))
+        assert t.n_leaves == 3
+
+    def test_iter_leaves_order(self):
+        t = series(leaf(1, "a"), parallel(leaf(2, "b"), leaf(3, "c")))
+        assert [n.label for n in t.iter_leaves()] == ["a", "b", "c"]
+
+
+class TestWorkSpan:
+    def test_series_sums(self):
+        t = series(leaf(1), leaf(2), leaf(3))
+        assert work(t) == 6
+        assert span(t) == 6
+
+    def test_parallel_maxes_span(self):
+        t = parallel(leaf(1), leaf(5), leaf(3))
+        assert work(t) == 9
+        assert span(t) == 5
+
+    def test_nested(self):
+        t = series(
+            parallel(series(leaf(2), leaf(2)), leaf(3)),
+            leaf(1),
+        )
+        assert work(t) == 8
+        assert span(t) == 5  # max(4, 3) + 1
+
+    def test_empty_parallel(self):
+        t = series(leaf(1), SPNode("parallel"))
+        assert span(t) == 1
+
+    def test_deep_tree_iterative(self):
+        # A 10^4-deep series chain must not hit the recursion limit.
+        t = SPNode("series")
+        cur = t
+        for _ in range(10_000):
+            nxt = cur.add(SPNode("series"))
+            nxt.add(leaf(1.0))
+            cur = nxt
+        assert work(t) == 10_000
+        assert span(t) == 10_000
+
+
+class TestToDag:
+    def test_single_leaf(self):
+        dag = to_dag(leaf(4.0))
+        assert len(dag) == 1
+        assert dag[0].cost == 4.0
+        assert dag[0].n_preds == 0
+
+    def test_series_chain(self):
+        dag = to_dag(series(leaf(1), leaf(2)))
+        assert len(dag) == 2
+        assert dag[0].succs == [1]
+        assert dag[1].n_preds == 1
+
+    def test_fork_join(self):
+        t = series(leaf(1), parallel(leaf(2), leaf(3)), leaf(4))
+        dag = to_dag(t)
+        costs = sorted(n.cost for n in dag)
+        assert costs == [1, 2, 3, 4]
+        # entry node fans out to the two parallel tasks
+        entry = next(n for n in dag if n.cost == 1)
+        assert len(entry.succs) == 2
+        # exit has two preds
+        exit_ = next(n for n in dag if n.cost == 4)
+        assert exit_.n_preds == 2
+
+    def test_join_node_insertion(self):
+        # parallel -> parallel series composition would be quadratic in
+        # edges without a zero-cost join node.
+        t = series(parallel(*[leaf(1) for _ in range(5)]),
+                   parallel(*[leaf(1) for _ in range(5)]))
+        dag = to_dag(t)
+        joins = [n for n in dag if n.label == "join"]
+        assert len(joins) == 1
+        total_edges = sum(len(n.succs) for n in dag)
+        assert total_edges == 10  # 5 into join + join out to 5
+
+    def test_total_cost_preserved(self):
+        t = series(parallel(leaf(2), series(leaf(3), leaf(4))), leaf(5))
+        dag = to_dag(t)
+        assert sum(n.cost for n in dag) == work(t)

@@ -1,0 +1,119 @@
+"""Space-conserving sequential Strassen (paper Section 5.1 'curious feature')."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.dgemm import dgemm
+from repro.algorithms.opcount import op_count
+from repro.algorithms.spacesaving import strassen_space_saving
+from repro.kernels import instrument
+from repro.matrix import (
+    DenseMatrix,
+    TileRange,
+    TiledMatrix,
+    Tiling,
+    from_tiled,
+    to_dense_padded,
+    to_tiled,
+)
+from tests.conftest import ALL_RECURSIVE
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("curve", ALL_RECURSIVE)
+    def test_matches_numpy(self, curve, rng):
+        n = 64
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        t = Tiling(3, 8, 8, n, n)
+        A, B = to_tiled(a, curve, t), to_tiled(b, curve, t)
+        C = TiledMatrix.zeros(curve, 3, 8, 8, n, n)
+        strassen_space_saving(C.root_view(), A.root_view(), B.root_view())
+        np.testing.assert_allclose(from_tiled(C), a @ b, atol=1e-9)
+
+    def test_accumulate_and_overwrite(self, rng):
+        n = 32
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        c0 = rng.standard_normal((n, n))
+        t = Tiling(2, 8, 8, n, n)
+        A, B = to_tiled(a, "LG", t), to_tiled(b, "LG", t)
+        C = to_tiled(c0, "LG", t)
+        strassen_space_saving(C.root_view(), A.root_view(), B.root_view(),
+                              accumulate=True)
+        np.testing.assert_allclose(from_tiled(C), c0 + a @ b, atol=1e-10)
+        C = to_tiled(c0, "LG", t)
+        strassen_space_saving(C.root_view(), A.root_view(), B.root_view(),
+                              accumulate=False)
+        np.testing.assert_allclose(from_tiled(C), a @ b, atol=1e-10)
+
+    def test_dense_baseline(self, rng):
+        n = 32
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        t = Tiling(2, 8, 8, n, n)
+        DA, DB = to_dense_padded(a, t), to_dense_padded(b, t)
+        DC = DenseMatrix.zeros(2, 8, 8, n, n)
+        strassen_space_saving(DC.root_view(), DA.root_view(), DB.root_view())
+        np.testing.assert_allclose(DC.array[:n, :n], a @ b, atol=1e-10)
+
+    def test_through_dgemm(self, rng):
+        a = rng.standard_normal((40, 50))
+        b = rng.standard_normal((50, 30))
+        r = dgemm(a, b, algorithm="strassen_space", trange=TileRange(8, 16))
+        np.testing.assert_allclose(r.c, a @ b, atol=1e-9)
+
+
+class TestResourceProfile:
+    def test_same_leaf_products_as_strassen(self, rng):
+        n, tile = 64, 8
+        mats = [TiledMatrix.zeros("LZ", 3, tile, tile) for _ in range(3)]
+        c, a, b = mats
+        with instrument.collect() as cnt:
+            strassen_space_saving(c.root_view(), a.root_view(), b.root_view())
+        expect = op_count("strassen", n, tile)
+        assert cnt.leaf_multiplies == expect.leaf_multiplies
+
+    def test_more_streams_than_parallel_strassen(self):
+        # Interspersing scatters each product into C incrementally: 22
+        # quadrant streams per level instead of 18.
+        n, tile = 32, 8
+        mats = [TiledMatrix.zeros("LZ", 2, tile, tile) for _ in range(3)]
+        c, a, b = mats
+        with instrument.collect() as cnt:
+            strassen_space_saving(c.root_view(), a.root_view(), b.root_view())
+        per_level = 22
+        # level 0 (32): 22 streams of 16^2; level 1 (16): 7 * 22 of 8^2.
+        assert cnt.add_elements == per_level * 16 * 16 + 7 * per_level * 8 * 8
+
+    def test_temp_buffers_reused(self, rng):
+        # The trace must show only 3 temporary address spaces per level.
+        from repro.memsim.trace import trace_multiply
+
+        events, sizes = trace_multiply("strassen_space", "LZ", 32, 8)
+        # Spaces: C, A, B + 3 temps at level 0 + 3 temps per level-1 call
+        # (each of the 7 products allocates its own trio sequentially,
+        # but within one product the trio is reused for all its work).
+        n_spaces = len(sizes)
+        # Parallel strassen at the same size uses 17 temps at level 0 +
+        # 17 per product: far more distinct spaces.
+        events_p, sizes_p = trace_multiply("strassen", "LZ", 32, 8)
+        assert n_spaces < len(sizes_p)
+
+    def test_no_spawning(self):
+        # The sequential variant never calls spawn_all.
+        from repro.algorithms.recursion import Context
+        from repro.runtime.cilk import TraceRuntime
+
+        rt = TraceRuntime()
+        mats = [TiledMatrix.zeros("LZ", 2, 8, 8) for _ in range(3)]
+        c, a, b = mats
+        strassen_space_saving(c.root_view(), a.root_view(), b.root_view(),
+                              Context(rt))
+        # Trace tree has no parallel nodes.
+        def has_parallel(node):
+            if node.kind == "parallel":
+                return True
+            return any(has_parallel(ch) for ch in node.children)
+
+        assert not has_parallel(rt.root)

@@ -1,0 +1,164 @@
+"""Tile-size selection, padding policy, and aspect classification (Section 4)."""
+
+import pytest
+
+from repro.matrix.tile import (
+    InfeasibleTiling,
+    MatmulTiling,
+    TileRange,
+    Tiling,
+    classify_aspect,
+    matmul_tiling_for_fixed_tile,
+    select_matmul_tiling,
+    select_tiling,
+)
+
+
+class TestTileRange:
+    def test_alpha(self):
+        assert TileRange(16, 32).alpha == 2.0
+        assert TileRange(17, 32).alpha == 32 / 17
+
+    def test_contains(self):
+        tr = TileRange(16, 32)
+        assert tr.contains(16) and tr.contains(32) and tr.contains(20)
+        assert not tr.contains(15) and not tr.contains(33)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            TileRange(0, 5)
+        with pytest.raises(ValueError):
+            TileRange(10, 5)
+
+
+class TestClassifyAspect:
+    def test_squat(self):
+        tr = TileRange(16, 32)
+        assert classify_aspect(100, 100, tr) == "squat"
+        assert classify_aspect(100, 200, tr) == "squat"
+        assert classify_aspect(200, 100, tr) == "squat"
+
+    def test_wide(self):
+        # Paper definition: wide when m/n > alpha.
+        tr = TileRange(16, 32)
+        assert classify_aspect(1000, 100, tr) == "wide"
+
+    def test_lean(self):
+        tr = TileRange(16, 32)
+        assert classify_aspect(100, 1000, tr) == "lean"
+
+    def test_boundary_is_squat(self):
+        tr = TileRange(16, 32)  # alpha = 2
+        assert classify_aspect(200, 100, tr) == "squat"
+        assert classify_aspect(100, 200, tr) == "squat"
+
+
+class TestSelectTiling:
+    def test_exact_power_of_two(self):
+        t = select_tiling(1024, 1024, TileRange(16, 32))
+        assert t.padded_m == 1024 and t.padded_n == 1024
+        assert t.pad_ratio == 0.0
+
+    def test_padding_bounded_by_tmin(self):
+        # Paper: max pad-to-matrix ratio is 1/T_min (per axis).
+        tr = TileRange(16, 32)
+        for m in range(100, 400, 13):
+            t = select_tiling(m, m, tr)
+            assert t.padded_m >= m
+            assert (t.padded_m - m) / m <= 1 / (tr.t_min - 1) + 1e-9
+
+    def test_tiles_in_range(self):
+        tr = TileRange(8, 16)
+        for m, n in [(100, 120), (65, 120), (33, 40)]:
+            t = select_tiling(m, n, tr)
+            assert tr.contains(t.t_r) and tr.contains(t.t_c)
+
+    def test_integer_rounding_gap(self):
+        # Aspect 100/150 is within alpha = 2, but no integer d puts both
+        # ceil(100/2^d) and ceil(150/2^d) inside [8, 16]: squatness is
+        # necessary, not sufficient, once ceil rounding enters.  The
+        # dgemm driver recovers via plan_partition.
+        with pytest.raises(InfeasibleTiling):
+            select_tiling(100, 150, TileRange(8, 16))
+
+    def test_infeasible_for_wide(self):
+        # Footnote 2 of the paper proves this must fail.
+        with pytest.raises(InfeasibleTiling):
+            select_tiling(1024, 256, TileRange(17, 32))
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            select_tiling(0, 5)
+
+
+class TestSelectMatmulTiling:
+    def test_paper_example(self):
+        # m=1024, n=256, Tmin=17, Tmax=32 is the paper's infeasible example.
+        with pytest.raises(InfeasibleTiling):
+            select_matmul_tiling(1024, 256, 256, TileRange(17, 32))
+
+    def test_square(self):
+        t = select_matmul_tiling(1000, 1000, 1000, TileRange(16, 32))
+        assert t.padded == (1024, 1024, 1024)
+        assert t.d == 5 and t.t_m == t.t_k == t.t_n == 32
+
+    def test_rectangular_within_alpha(self):
+        t = select_matmul_tiling(100, 120, 80, TileRange(8, 16))
+        pm, pk, pn = t.padded
+        assert pm >= 100 and pk >= 120 and pn >= 80
+        for tv in (t.t_m, t.t_k, t.t_n):
+            assert 8 <= tv <= 16
+
+    def test_tilings_consistent(self):
+        t = select_matmul_tiling(100, 100, 100, TileRange(8, 16))
+        ta, tb, tc = t.tiling_a(), t.tiling_b(), t.tiling_c()
+        assert ta.d == tb.d == tc.d == t.d
+        assert ta.t_r == tc.t_r == t.t_m
+        assert ta.t_c == tb.t_r == t.t_k
+        assert tb.t_c == tc.t_c == t.t_n
+
+    def test_flops_property(self):
+        t = select_matmul_tiling(64, 64, 64, TileRange(16, 32))
+        pm, pk, pn = t.padded
+        assert t.flops == 2 * pm * pk * pn
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            select_matmul_tiling(0, 1, 1)
+
+
+class TestFixedTile:
+    def test_power_of_two_no_padding(self):
+        t = matmul_tiling_for_fixed_tile(1024, 1024, 1024, 16)
+        assert t.d == 6
+        assert t.padded == (1024, 1024, 1024)
+
+    def test_paper_1536_case(self):
+        # n=1536 = 3 * 512: tiles {3, 6, 12, ...} give exact cover.
+        for tile in (3, 6, 12, 24, 48):
+            t = matmul_tiling_for_fixed_tile(1536, 1536, 1536, tile)
+            assert t.padded == (1536, 1536, 1536), tile
+
+    def test_element_level(self):
+        # tile=1 carries the recursion to single elements (Frens & Wise).
+        t = matmul_tiling_for_fixed_tile(64, 64, 64, 1)
+        assert t.d == 6 and t.t_m == 1
+
+    def test_tile_larger_than_matrix(self):
+        t = matmul_tiling_for_fixed_tile(10, 10, 10, 64)
+        assert t.d == 0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            matmul_tiling_for_fixed_tile(8, 8, 8, 0)
+
+
+class TestTilingDataclass:
+    def test_pad_ratio(self):
+        t = Tiling(2, 8, 8, 30, 30)
+        assert t.padded_m == 32
+        assert t.pad_ratio == pytest.approx(32 * 32 / 900 - 1)
+
+    def test_matmul_padded(self):
+        t = MatmulTiling(3, 4, 5, 6, 30, 40, 45)
+        assert t.padded == (32, 40, 48)

@@ -1,0 +1,48 @@
+"""The correctness-verification harness (paper's dgemm cross-check)."""
+
+import pytest
+
+from repro.analysis.verify import DEFAULT_SHAPES, verify_against_numpy
+from repro.matrix.tile import TileRange
+
+
+class TestVerifyHarness:
+    def test_full_cross_product_passes(self):
+        rows = verify_against_numpy(
+            shapes=((24, 24, 24), (17, 23, 11)), trange=TileRange(4, 8)
+        )
+        assert all(r["ok"] for r in rows)
+        # 5 algorithms x 6 layouts x 2 shapes
+        assert len(rows) == 5 * 6 * 2
+
+    def test_restricted_sweep(self):
+        rows = verify_against_numpy(
+            algorithms=["strassen"],
+            layouts=("LZ",),
+            shapes=((16, 16, 16),),
+        )
+        assert len(rows) == 1
+        assert rows[0]["algorithm"] == "strassen"
+        assert rows[0]["ok"]
+
+    def test_reports_errors_not_raises(self):
+        # Impossible tolerance: rows flag failures instead of raising.
+        rows = verify_against_numpy(
+            algorithms=["standard"],
+            layouts=("LZ",),
+            shapes=((32, 32, 32),),
+            tol=0.0,
+        )
+        assert not rows[0]["ok"]
+        assert rows[0]["max_rel_error"] >= 0.0
+
+    def test_default_shapes_cover_partitioning(self):
+        # One default shape must trigger the Figure-3 wide path.
+        assert any(m / n > 2 or n / m > 2 for m, _, n in DEFAULT_SHAPES)
+
+    def test_deterministic(self):
+        r1 = verify_against_numpy(algorithms=["winograd"], layouts=("LG",),
+                                  shapes=((20, 20, 20),), seed=7)
+        r2 = verify_against_numpy(algorithms=["winograd"], layouts=("LG",),
+                                  shapes=((20, 20, 20),), seed=7)
+        assert r1[0]["max_rel_error"] == r2[0]["max_rel_error"]
