@@ -13,8 +13,12 @@ from repro.analysis.experiments import fig5_robustness
 from repro.analysis.report import ascii_plot, format_table
 from repro.memsim.hierarchy import simulate_hierarchy
 from repro.memsim.machine import ultrasparc_like
-from repro.memsim.synthetic import dense_standard_events
-from repro.memsim.trace import expand_trace
+from repro.memsim.store import (
+    cached_multiply_stats,
+    cached_multiply_trace,
+    cached_synthetic_stats,
+    cached_synthetic_trace,
+)
 
 N_VALUES = list(range(248, 281, 4))
 KEYS = ["standard_LC", "standard_LZ", "strassen_LC", "strassen_LZ"]
@@ -22,7 +26,7 @@ KEYS = ["standard_LC", "standard_LZ", "strassen_LC", "strassen_LZ"]
 
 def test_cache_simulation_throughput(benchmark):
     mach = ultrasparc_like()
-    addrs = expand_trace(dense_standard_events(128, 16), mach)
+    addrs = cached_synthetic_trace("dense_standard", mach, n=128, tile=16)
     stats = benchmark(simulate_hierarchy, addrs, mach)
     assert stats.accesses == len(addrs)
 
@@ -65,8 +69,6 @@ def test_e11_space_saving_variant(benchmark):
     space-saving variant ~6% versus ~1-3% for the parallel one (see
     EXPERIMENTS.md E11).
     """
-    from repro.memsim.trace import trace_multiply
-
     mach = ultrasparc_like()
 
     def run():
@@ -76,10 +78,7 @@ def test_e11_space_saving_variant(benchmark):
             row = [n]
             for algo in ("strassen", "strassen_space"):
                 for lay in ("LC", "LZ"):
-                    ev, sizes = trace_multiply(algo, lay, n, 16, depth=4)
-                    st = simulate_hierarchy(
-                        expand_trace(ev, mach, sizes), mach
-                    )
+                    st = cached_multiply_stats(algo, lay, n, 16, mach, depth=4)
                     row.append(st.cycles / flops)
             rows.append(row)
         return rows
@@ -104,8 +103,6 @@ def test_e12_conflict_miss_classification(benchmark):
     *conflict* misses specifically — verified with a 3C decomposition
     against a fully-associative cache of the same capacity."""
     from repro.memsim.classify import classify_misses
-    from repro.memsim.synthetic import dense_standard_events
-    from repro.memsim.trace import trace_multiply
 
     mach = ultrasparc_like()
     tile = 16
@@ -114,10 +111,11 @@ def test_e12_conflict_miss_classification(benchmark):
         rows = []
         for label, n in (("LC", 250), ("LC", 256), ("LZ", 256)):
             if label == "LC":
-                addrs = expand_trace(dense_standard_events(n, tile), mach)
+                addrs = cached_synthetic_trace(
+                    "dense_standard", mach, n=n, tile=tile
+                )
             else:
-                ev, sizes = trace_multiply("standard", "LZ", n, tile)
-                addrs = expand_trace(ev, mach, sizes)
+                addrs = cached_multiply_trace("standard", "LZ", n, tile, mach)
             b = classify_misses(addrs, mach.l1)
             rows.append(
                 [f"{label} n={n}", b.compulsory, b.capacity, b.conflict,
@@ -149,7 +147,6 @@ def test_e13_associativity_sensitivity(benchmark):
     research line.
     """
     from repro.memsim.machine import modern_like
-    from repro.memsim.trace import trace_multiply
 
     machines = {"direct-mapped": ultrasparc_like(), "8-way": modern_like()}
 
@@ -158,14 +155,11 @@ def test_e13_associativity_sensitivity(benchmark):
         for mname, mach in machines.items():
             for n in (250, 256):
                 flops = 2.0 * n**3
-                lc = simulate_hierarchy(
-                    expand_trace(dense_standard_events(n, 16), mach),
-                    mach,
-                    include_tlb=False,
+                lc = cached_synthetic_stats(
+                    "dense_standard", mach, n=n, tile=16, include_tlb=False
                 )
-                ev, sizes = trace_multiply("standard", "LZ", n, 16, depth=4)
-                lz = simulate_hierarchy(
-                    expand_trace(ev, mach, sizes), mach, include_tlb=False
+                lz = cached_multiply_stats(
+                    "standard", "LZ", n, 16, mach, depth=4, include_tlb=False
                 )
                 rows.append(
                     [mname, n, lc.cycles / flops, lz.cycles / flops,

@@ -18,10 +18,22 @@ def register_table(title: str, text: str) -> None:
 
 
 def pytest_terminal_summary(terminalreporter):
-    if not _TABLES:
-        return
     tr = terminalreporter
-    tr.write_sep("=", "reproduced paper figures/tables")
-    for title, text in _TABLES:
-        tr.write_sep("-", title)
-        tr.write_line(text)
+    if _TABLES:
+        tr.write_sep("=", "reproduced paper figures/tables")
+        for title, text in _TABLES:
+            tr.write_sep("-", title)
+            tr.write_line(text)
+    from repro.memsim.store import default_store
+
+    store = default_store()
+    c = store.counters()
+    if store.enabled and any(c.values()):
+        tr.write_sep("-", "trace cache")
+        tr.write_line(
+            f"root={store.root}  "
+            f"traces: {c['trace_hits']} hit / {c['trace_misses']} miss  "
+            f"stats: {c['stats_hits']} hit / {c['stats_misses']} miss"
+        )
+        if c["trace_misses"] == 0 and c["stats_misses"] == 0:
+            tr.write_line("warm cache: no trace was re-expanded this run")

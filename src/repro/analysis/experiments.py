@@ -21,10 +21,10 @@ from repro.layouts.curves import dilation_profile
 from repro.layouts.registry import PAPER_LAYOUTS
 from repro.matrix.tile import TileRange
 from repro.memsim.coherence import assign_by_output, false_sharing_stats
-from repro.memsim.hierarchy import simulate_hierarchy
 from repro.memsim.machine import MachineModel, ultrasparc_like
-from repro.memsim.synthetic import dense_standard_events, dense_strassen_events
-from repro.memsim.trace import expand_trace, trace_multiply
+from repro.memsim.store import cached_multiply_stats, cached_synthetic_stats
+from repro.memsim.synthetic import dense_standard_events
+from repro.memsim.trace import trace_multiply
 from repro.runtime.cilk import CostModel, TraceRuntime
 from repro.runtime.critical import work_span
 from repro.runtime.scheduler import greedy_makespan, work_stealing_makespan
@@ -115,8 +115,7 @@ def fig4_tile_size_sweep(
             "conversion_fraction": res.conversion_fraction,
         }
         if include_memsim:
-            events, sizes = trace_multiply(algorithm, layout, n, t)
-            stats = simulate_hierarchy(expand_trace(events, machine, sizes), machine)
+            stats = cached_multiply_stats(algorithm, layout, n, t, machine)
             row["sim_cycles"] = stats.cycles
             row["sim_cycles_per_flop"] = stats.cycles / (2 * n**3)
             row["l1_miss_rate"] = stats.l1_miss_rate
@@ -148,17 +147,15 @@ def fig5_robustness(
     for n in n_values:
         flops = 2.0 * n**3
         # standard / LC: canonical storage with leading dimension n.
-        ev = dense_standard_events(n, tile)
-        lc_std = simulate_hierarchy(expand_trace(ev, machine), machine)
+        lc_std = cached_synthetic_stats("dense_standard", machine, n=n, tile=tile)
         # standard / LZ: real recursive-layout execution (padded).
-        ev, sizes = trace_multiply("standard", "LZ", n, tile, depth=depth)
-        lz_std = simulate_hierarchy(expand_trace(ev, machine, sizes), machine)
+        lz_std = cached_multiply_stats("standard", "LZ", n, tile, machine, depth=depth)
         # strassen / LC: synthetic ld=n trace with contiguous temporaries.
-        ev = dense_strassen_events(n, tile, depth=depth)
-        lc_str = simulate_hierarchy(expand_trace(ev, machine), machine)
+        lc_str = cached_synthetic_stats(
+            "dense_strassen", machine, n=n, tile=tile, depth=depth
+        )
         # strassen / LZ: real recursive-layout execution.
-        ev, sizes = trace_multiply("strassen", "LZ", n, tile, depth=depth)
-        lz_str = simulate_hierarchy(expand_trace(ev, machine, sizes), machine)
+        lz_str = cached_multiply_stats("strassen", "LZ", n, tile, machine, depth=depth)
         rows.append(
             {
                 "n": n,
@@ -235,8 +232,7 @@ def fig6_simulated(
         flops = None
         per_layout = {}
         for lay in layouts:
-            events, sizes = trace_multiply(algo, lay, n, tile)
-            st = simulate_hierarchy(expand_trace(events, machine, sizes), machine)
+            st = cached_multiply_stats(algo, lay, n, tile, machine)
             per_layout[lay] = st.cycles
             flops = 2.0 * n**3
         for lay in layouts:

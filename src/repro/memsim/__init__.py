@@ -8,8 +8,35 @@ from repro.memsim.cache import (
 )
 from repro.memsim.classify import MissBreakdown, classify_misses
 from repro.memsim.coherence import SharingStats, assign_by_output, false_sharing_stats
-from repro.memsim.hierarchy import MemoryStats, simulate_hierarchy
-from repro.memsim.machine import CacheGeometry, MachineModel, scaled, ultrasparc_like
+from repro.memsim.engines import (
+    fully_associative_hits,
+    lru_hit_mask,
+    prev_occurrence,
+    set_associative_miss_lines,
+    simulate_set_associative,
+    stable_argsort_bounded,
+)
+from repro.memsim.hierarchy import (
+    HierarchySimulator,
+    MemoryStats,
+    simulate_hierarchy,
+    simulate_hierarchy_chunked,
+)
+from repro.memsim.machine import (
+    CacheGeometry,
+    MachineModel,
+    modern_like,
+    scaled,
+    ultrasparc_like,
+)
+from repro.memsim.store import (
+    TraceStore,
+    cached_multiply_stats,
+    cached_multiply_trace,
+    cached_synthetic_stats,
+    cached_synthetic_trace,
+    default_store,
+)
 from repro.memsim.synthetic import dense_standard_events, dense_strassen_events
 from repro.memsim.trace import (
     AddressSpace,
@@ -17,6 +44,7 @@ from repro.memsim.trace import (
     TraceContext,
     TraceEvent,
     expand_trace,
+    expand_trace_chunks,
     trace_multiply,
 )
 
@@ -30,12 +58,27 @@ __all__ = [
     "SharingStats",
     "assign_by_output",
     "false_sharing_stats",
+    "fully_associative_hits",
+    "lru_hit_mask",
+    "prev_occurrence",
+    "set_associative_miss_lines",
+    "simulate_set_associative",
+    "stable_argsort_bounded",
+    "HierarchySimulator",
     "MemoryStats",
     "simulate_hierarchy",
+    "simulate_hierarchy_chunked",
     "CacheGeometry",
     "MachineModel",
+    "modern_like",
     "scaled",
     "ultrasparc_like",
+    "TraceStore",
+    "cached_multiply_stats",
+    "cached_multiply_trace",
+    "cached_synthetic_stats",
+    "cached_synthetic_trace",
+    "default_store",
     "dense_standard_events",
     "dense_strassen_events",
     "AddressSpace",
@@ -43,5 +86,6 @@ __all__ = [
     "TraceContext",
     "TraceEvent",
     "expand_trace",
+    "expand_trace_chunks",
     "trace_multiply",
 ]

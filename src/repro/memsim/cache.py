@@ -11,8 +11,9 @@ Two engines:
 
 * :class:`LRUCache` — reference set-associative LRU simulator (per-set
   move-to-front lists).  Exact for any associativity; O(assoc) Python
-  work per access, so use it for validation and for the
-  fully-associative TLB, not for multi-million-access sweeps.
+  work per access.  It is the *validation oracle*: sweeps go through
+  the vectorized engines in :mod:`repro.memsim.engines`, and the test
+  suite asserts bit-identical miss masks against this class.
 
 Addresses are *byte* addresses; both engines return per-access miss
 masks so callers can split statistics by matrix or by operation.
@@ -22,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.memsim.engines import simulate_set_associative
 from repro.memsim.machine import CacheGeometry
 
 __all__ = ["simulate_direct_mapped", "LRUCache", "simulate_lru", "miss_count"]
@@ -96,4 +98,4 @@ def miss_count(addresses: np.ndarray, geom: CacheGeometry) -> int:
     """Total misses, choosing the fastest exact engine for the geometry."""
     if geom.assoc == 1:
         return int(simulate_direct_mapped(addresses, geom).sum())
-    return int(simulate_lru(addresses, geom).sum())
+    return int(simulate_set_associative(addresses, geom).sum())

@@ -13,7 +13,10 @@ fully-associative LRU cache of the same capacity and line size:
   hits (set-index collisions; the canonical layouts' pathology).
 
 The fully-associative hit test is an LRU stack-distance computation,
-done in O(1) amortized per access with an order-preserving dict.
+served by the shared vectorized reuse-distance engine
+(:func:`repro.memsim.engines.fully_associative_hits`) — the same code
+path the TLB model uses, so one engine is validated once against the
+scalar oracles and reused everywhere.
 
 This directly verifies the paper's claim: the recursive layouts' wins
 at pathological sizes are *conflict* eliminations, while their
@@ -27,7 +30,8 @@ import dataclasses
 
 import numpy as np
 
-from repro.memsim.cache import simulate_direct_mapped, simulate_lru
+from repro.memsim.cache import simulate_direct_mapped
+from repro.memsim.engines import fully_associative_hits, simulate_set_associative
 from repro.memsim.machine import CacheGeometry
 
 __all__ = ["MissBreakdown", "classify_misses"]
@@ -55,16 +59,7 @@ class MissBreakdown:
 
 def _fully_associative_hits(lines: np.ndarray, capacity_lines: int) -> np.ndarray:
     """Boolean hit mask for a fully-associative LRU cache of given size."""
-    hits = np.zeros(lines.size, dtype=bool)
-    stack: dict[int, None] = {}  # insertion order == LRU order (oldest first)
-    for k, ln in enumerate(lines.tolist()):
-        if ln in stack:
-            del stack[ln]
-            hits[k] = True
-        elif len(stack) >= capacity_lines:
-            del stack[next(iter(stack))]
-        stack[ln] = None
-    return hits
+    return fully_associative_hits(lines, capacity_lines)
 
 
 def classify_misses(addresses: np.ndarray, geom: CacheGeometry) -> MissBreakdown:
@@ -76,7 +71,7 @@ def classify_misses(addresses: np.ndarray, geom: CacheGeometry) -> MissBreakdown
     if geom.assoc == 1:
         miss = simulate_direct_mapped(addresses, geom)
     else:
-        miss = simulate_lru(addresses, geom)
+        miss = simulate_set_associative(addresses, geom)
     # First touches (compulsory misses by definition, in any cache).
     _, first_idx = np.unique(lines, return_index=True)
     compulsory_mask = np.zeros(lines.size, dtype=bool)

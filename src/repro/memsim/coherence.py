@@ -25,8 +25,9 @@ import dataclasses
 
 import numpy as np
 
+from repro.memsim.engines import stable_argsort_bounded
 from repro.memsim.machine import MachineModel
-from repro.memsim.trace import AddressSpace, TraceEvent, region_line_addresses
+from repro.memsim.trace import AddressSpace, TraceEvent
 
 __all__ = ["SharingStats", "assign_by_output", "false_sharing_stats"]
 
@@ -101,49 +102,107 @@ def assign_by_output(
     return owner
 
 
+def _written_elements(
+    events: list[TraceEvent],
+    owner: np.ndarray,
+    aspace: AddressSpace,
+    sizes: dict[int, int],
+    item: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Element byte addresses written by each event, in stream order.
+
+    Returns ``(addresses, owners)`` with one entry per written element.
+    Events are expanded in batches grouped by region shape (one 3-D
+    broadcast per distinct ``rows x cols``), so cost is a few array
+    operations per shape class rather than Python work per element.
+    """
+    m = len(events)
+    bases = np.empty(m, dtype=np.int64)
+    starts = np.empty(m, dtype=np.int64)
+    rows = np.empty(m, dtype=np.int64)
+    cols = np.empty(m, dtype=np.int64)
+    strides = np.empty(m, dtype=np.int64)
+    for i, ev in enumerate(events):
+        w = ev.write
+        bases[i] = aspace.base(w.space, sizes.get(w.space, 0) * item)
+        starts[i] = w.start
+        rows[i] = w.rows
+        cols[i] = w.cols if w.cols > 1 else 1
+        strides[i] = w.col_stride or 0
+    counts = rows * cols
+    offsets = np.zeros(m + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    total = int(offsets[-1])
+    elems = np.empty(total, dtype=np.int64)
+    shape_key = (rows << 32) | cols
+    for key in np.unique(shape_key):
+        sel = np.flatnonzero(shape_key == key)
+        r = int(rows[sel[0]])
+        c = int(cols[sel[0]])
+        kk = np.arange(c, dtype=np.int64)[None, :, None]
+        ee = np.arange(r, dtype=np.int64)[None, None, :]
+        block = (
+            bases[sel][:, None, None]
+            + (starts[sel][:, None, None] + strides[sel][:, None, None] * kk + ee)
+            * item
+        )
+        # Scatter into stream position, column-major within each event.
+        tgt = offsets[sel][:, None, None] + kk * r + ee
+        elems[tgt.reshape(-1)] = block.reshape(-1)
+    owners = np.repeat(np.asarray(owner, dtype=np.int8), counts)
+    return elems, owners
+
+
 def false_sharing_stats(
     events: list[TraceEvent],
     owner: np.ndarray,
     machine: MachineModel,
     space_sizes: dict[int, int] | None = None,
 ) -> SharingStats:
-    """Write-sharing statistics given an event -> processor assignment."""
+    """Write-sharing statistics given an event -> processor assignment.
+
+    Fully vectorized: the written-element stream is expanded in shape-
+    grouped batches, then every statistic reduces to one stable sort
+    per granularity.  After a stable sort by line id, each line's writes
+    sit in a contiguous run *in program order*, so an adjacent pair with
+    equal ids and different owners is exactly an ownership transition
+    (an invalidation), and a line/element is shared iff its run contains
+    such a pair.
+    """
     n_proc = int(owner.max()) + 1 if len(owner) else 1
+    if not events:
+        return SharingStats(n_proc, 0, 0, 0, 0)
     aspace = AddressSpace(machine)
     sizes = space_sizes or {}
     line = machine.l1.line
     item = machine.itemsize
-    # line id -> bitmask of writers; and per (line, element) writer masks
-    line_writers: dict[int, int] = {}
-    elem_writers: dict[int, int] = {}
-    invalidations = 0
-    last_writer: dict[int, int] = {}
-    for ev, p in zip(events, owner.tolist()):
-        w = ev.write
-        base = aspace.base(w.space, sizes.get(w.space, 0) * item)
-        lines = region_line_addresses(w, base, machine) // line
-        for ln in lines.tolist():
-            mask = line_writers.get(ln, 0)
-            line_writers[ln] = mask | (1 << p)
-            prev = last_writer.get(ln)
-            if prev is not None and prev != p:
-                invalidations += 1
-            last_writer[ln] = p
-        # Element-level writer tracking (to separate true from false sharing).
-        for k in range(w.cols if w.cols > 1 else 1):
-            start = base + (w.start + k * (w.col_stride or 0)) * item
-            for e in range(w.rows):
-                addr = start + e * item
-                elem_writers[addr] = elem_writers.get(addr, 0) | (1 << p)
-    written = len(line_writers)
-    shared = sum(1 for m in line_writers.values() if m & (m - 1))
-    # True sharing: some element written by >1 processor.
-    true_elem_lines = {
-        addr // line for addr, m in elem_writers.items() if m & (m - 1)
-    }
-    truly_shared = sum(
-        1 for ln, m in line_writers.items() if (m & (m - 1)) and ln in true_elem_lines
+    elems, owners = _written_elements(events, owner, aspace, sizes, item)
+    if elems.size == 0:
+        return SharingStats(n_proc, 0, 0, 0, 0)
+    # Line granularity: every touched line contains at least one element
+    # start (item divides line), so element addresses cover all lines.
+    lines = elems // line
+    order = stable_argsort_bounded(lines)
+    ls = lines[order]
+    lo = owners[order]
+    same = ls[1:] == ls[:-1]
+    pair = same & (lo[1:] != lo[:-1])
+    written = int(ls.size - np.count_nonzero(same))
+    invalidations = int(np.count_nonzero(pair))
+    shared_line_ids = np.unique(ls[1:][pair])
+    # Element granularity separates true from false sharing.  Sorting by
+    # addr // item preserves the address order (addresses are item-
+    # aligned) while keeping the key range radix-friendly.
+    ekey = elems // item
+    order = stable_argsort_bounded(ekey)
+    es = ekey[order]
+    eo = owners[order]
+    epair = (es[1:] == es[:-1]) & (eo[1:] != eo[:-1])
+    true_lines = np.unique(es[1:][epair] * item // line)
+    truly_shared = int(
+        np.intersect1d(shared_line_ids, true_lines, assume_unique=True).size
     )
+    shared = int(shared_line_ids.size)
     return SharingStats(
         n_processors=n_proc,
         written_lines=written,

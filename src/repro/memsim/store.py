@@ -1,0 +1,334 @@
+"""Content-addressed on-disk cache of expanded traces and simulation results.
+
+Trace expansion (:func:`repro.memsim.trace.expand_trace`) and hierarchy
+simulation are deterministic functions of a small parameter tuple —
+(algorithm, layout, n, tile, mode, depth) plus the machine geometry.
+Sweeps like Figure 4/5 re-derive the same traces run after run; this
+module memoizes both levels on disk so a warm re-run skips straight to
+the cached :class:`~repro.memsim.hierarchy.MemoryStats`:
+
+* **traces** — the expanded int64 byte-address stream, stored as
+  ``.npy``.  Keyed only by the trace parameters and the machine fields
+  that affect expansion (L1 line size, page size, item size), so the
+  same trace file serves every cost model sharing that geometry.
+* **stats** — the simulated :class:`MemoryStats`, stored as JSON.
+  Keyed by the trace key plus the *full* machine model (capacities,
+  associativities, cycle costs) and the ``include_tlb`` flag.
+
+Keys are sha256 over a canonical JSON payload that includes a store
+version; bumping :data:`_STORE_VERSION` invalidates everything at once
+(e.g. if the expansion model changes).  Writes are atomic
+(tmp + ``os.replace``) so concurrent sweep processes can share a store.
+
+Set ``REPRO_TRACE_CACHE=0`` to disable caching entirely (every call
+recomputes, nothing is read or written); ``REPRO_TRACE_CACHE_DIR``
+relocates the store (default ``.benchmarks/tracecache/`` at the repo
+root).  Hit/miss counters on the store make cache behaviour observable
+in tests and benchmark summaries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.memsim.hierarchy import MemoryStats, simulate_hierarchy
+from repro.memsim.machine import MachineModel
+from repro.memsim.synthetic import (
+    blocked_canonical_events,
+    dense_standard_events,
+    dense_strassen_events,
+)
+from repro.memsim.trace import expand_trace, trace_multiply
+
+__all__ = [
+    "TraceStore",
+    "default_store",
+    "cached_multiply_trace",
+    "cached_multiply_stats",
+    "cached_synthetic_trace",
+    "cached_synthetic_stats",
+]
+
+# Bump to invalidate every cached artifact (key prefix).
+_STORE_VERSION = 1
+
+
+def _repo_root() -> Path:
+    # src/repro/memsim/store.py -> repo root is three levels above src/.
+    return Path(__file__).resolve().parents[3]
+
+
+def _machine_fingerprint(machine: MachineModel) -> dict:
+    return dataclasses.asdict(machine)
+
+
+def _expansion_fingerprint(machine: MachineModel) -> dict:
+    """The machine fields that affect trace *expansion* (not pricing)."""
+    return {
+        "line": machine.l1.line,
+        "page": machine.page,
+        "itemsize": machine.itemsize,
+    }
+
+
+class TraceStore:
+    """Content-addressed trace/stats cache rooted at one directory."""
+
+    def __init__(self, root: str | Path | None = None, enabled: bool | None = None):
+        if enabled is None:
+            enabled = os.environ.get("REPRO_TRACE_CACHE", "1") != "0"
+        if root is None:
+            root = os.environ.get("REPRO_TRACE_CACHE_DIR") or (
+                _repo_root() / ".benchmarks" / "tracecache"
+            )
+        self.root = Path(root)
+        self.enabled = bool(enabled)
+        self.trace_hits = 0
+        self.trace_misses = 0
+        self.stats_hits = 0
+        self.stats_misses = 0
+
+    # -- bookkeeping ---------------------------------------------------
+
+    def counters(self) -> dict[str, int]:
+        """Current hit/miss counters (for reporting and tests)."""
+        return {
+            "trace_hits": self.trace_hits,
+            "trace_misses": self.trace_misses,
+            "stats_hits": self.stats_hits,
+            "stats_misses": self.stats_misses,
+        }
+
+    def reset_counters(self) -> None:
+        """Zero all hit/miss counters."""
+        self.trace_hits = self.trace_misses = 0
+        self.stats_hits = self.stats_misses = 0
+
+    # -- keys and paths ------------------------------------------------
+
+    @staticmethod
+    def key_of(payload: dict) -> str:
+        """Deterministic content key of a JSON-serializable payload."""
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def _path(self, key: str, suffix: str) -> Path:
+        return self.root / key[:2] / (key + suffix)
+
+    def _write_atomic(self, path: Path, write) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".tmp.{os.getpid()}.{path.name}")
+        try:
+            write(tmp)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+
+    # -- memoization ---------------------------------------------------
+
+    def trace(self, fields: dict, machine: MachineModel, build) -> np.ndarray:
+        """Expanded byte-address trace for ``fields``, memoized on disk.
+
+        ``fields`` must uniquely determine the event stream; ``build()``
+        produces the expanded int64 address array on a miss.
+        """
+        if not self.enabled:
+            return np.asarray(build(), dtype=np.int64)
+        key = self.key_of(
+            {
+                "kind": "trace",
+                "v": _STORE_VERSION,
+                "fields": fields,
+                "expand": _expansion_fingerprint(machine),
+            }
+        )
+        path = self._path(key, ".npy")
+        if path.exists():
+            try:
+                arr = np.load(path)
+            except (OSError, ValueError):
+                pass  # corrupt/partial file: fall through and rebuild
+            else:
+                self.trace_hits += 1
+                return arr
+        self.trace_misses += 1
+        arr = np.asarray(build(), dtype=np.int64)
+        self._write_atomic(path, lambda tmp: np.save(tmp, arr))
+        return arr
+
+    def stats(
+        self,
+        fields: dict,
+        machine: MachineModel,
+        include_tlb: bool,
+        build_trace,
+    ) -> MemoryStats:
+        """Simulated :class:`MemoryStats` for ``fields``, memoized on disk.
+
+        On a stats hit neither the trace expansion nor the simulation
+        runs.  On a stats miss the trace itself still goes through
+        :meth:`trace`, so a second geometry sharing the expansion
+        fingerprint reuses the address file.
+        """
+        if not self.enabled:
+            addrs = np.asarray(build_trace(), dtype=np.int64)
+            return simulate_hierarchy(addrs, machine, include_tlb=include_tlb)
+        key = self.key_of(
+            {
+                "kind": "stats",
+                "v": _STORE_VERSION,
+                "fields": fields,
+                "machine": _machine_fingerprint(machine),
+                "include_tlb": bool(include_tlb),
+            }
+        )
+        path = self._path(key, ".json")
+        if path.exists():
+            try:
+                payload = json.loads(path.read_text())
+                st = MemoryStats(**payload)
+            except (OSError, ValueError, TypeError):
+                pass
+            else:
+                self.stats_hits += 1
+                return st
+        self.stats_misses += 1
+        addrs = self.trace(fields, machine, build_trace)
+        st = simulate_hierarchy(addrs, machine, include_tlb=include_tlb)
+        blob = json.dumps(dataclasses.asdict(st))
+        self._write_atomic(path, lambda tmp: tmp.write_text(blob))
+        return st
+
+
+_DEFAULT: TraceStore | None = None
+
+
+def default_store() -> TraceStore:
+    """Process-wide store (env-configured); create on first use."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = TraceStore()
+    return _DEFAULT
+
+
+# -- high-level helpers over the two event sources ---------------------
+
+_SYNTHETIC_SOURCES = {
+    "dense_standard": dense_standard_events,
+    "dense_strassen": dense_strassen_events,
+    "blocked_canonical": blocked_canonical_events,
+}
+
+
+def _multiply_fields(algorithm, layout, n, tile, mode, depth) -> dict:
+    return {
+        "src": "multiply",
+        "algorithm": algorithm,
+        "layout": layout.upper(),
+        "n": int(n),
+        "tile": int(tile),
+        "mode": mode,
+        "depth": depth,
+    }
+
+
+def _multiply_builder(algorithm, layout, n, tile, machine, mode, depth):
+    def build():
+        events, sizes = trace_multiply(
+            algorithm, layout, n, tile, mode=mode, depth=depth
+        )
+        return expand_trace(events, machine, sizes)
+
+    return build
+
+
+def cached_multiply_trace(
+    algorithm: str,
+    layout: str,
+    n: int,
+    tile: int,
+    machine: MachineModel,
+    *,
+    mode: str = "accumulate",
+    depth: int | None = None,
+    store: TraceStore | None = None,
+) -> np.ndarray:
+    """Memoized ``expand_trace(trace_multiply(...))``."""
+    store = store or default_store()
+    return store.trace(
+        _multiply_fields(algorithm, layout, n, tile, mode, depth),
+        machine,
+        _multiply_builder(algorithm, layout, n, tile, machine, mode, depth),
+    )
+
+
+def cached_multiply_stats(
+    algorithm: str,
+    layout: str,
+    n: int,
+    tile: int,
+    machine: MachineModel,
+    *,
+    mode: str = "accumulate",
+    depth: int | None = None,
+    include_tlb: bool = True,
+    store: TraceStore | None = None,
+) -> MemoryStats:
+    """Memoized hierarchy simulation of one traced multiply."""
+    store = store or default_store()
+    return store.stats(
+        _multiply_fields(algorithm, layout, n, tile, mode, depth),
+        machine,
+        include_tlb,
+        _multiply_builder(algorithm, layout, n, tile, machine, mode, depth),
+    )
+
+
+def _synthetic_fields(source: str, params: dict) -> dict:
+    if source not in _SYNTHETIC_SOURCES:
+        raise KeyError(
+            f"unknown synthetic source {source!r}; "
+            f"expected one of {sorted(_SYNTHETIC_SOURCES)}"
+        )
+    return {"src": source, **{k: params[k] for k in sorted(params)}}
+
+
+def cached_synthetic_trace(
+    source: str,
+    machine: MachineModel,
+    *,
+    store: TraceStore | None = None,
+    **params,
+) -> np.ndarray:
+    """Memoized expansion of a synthetic event source.
+
+    ``source`` names a generator in :mod:`repro.memsim.synthetic`
+    (``dense_standard``, ``dense_strassen``, ``blocked_canonical``);
+    ``params`` are its keyword arguments (``n``, ``tile``, ...).
+    """
+    store = store or default_store()
+    fields = _synthetic_fields(source, params)
+    build = lambda: expand_trace(_SYNTHETIC_SOURCES[source](**params), machine)
+    return store.trace(fields, machine, build)
+
+
+def cached_synthetic_stats(
+    source: str,
+    machine: MachineModel,
+    *,
+    include_tlb: bool = True,
+    store: TraceStore | None = None,
+    **params,
+) -> MemoryStats:
+    """Memoized hierarchy simulation of a synthetic event source."""
+    store = store or default_store()
+    fields = _synthetic_fields(source, params)
+    build = lambda: expand_trace(_SYNTHETIC_SOURCES[source](**params), machine)
+    return store.stats(fields, machine, include_tlb, build)

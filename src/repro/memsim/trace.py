@@ -28,7 +28,18 @@ from repro.matrix.tile import Tiling, matmul_tiling_for_fixed_tile
 from repro.matrix.tiledmatrix import DenseMatrix, DenseView, QuadView, TiledMatrix
 from repro.memsim.machine import MachineModel
 
-__all__ = ["Region", "TraceEvent", "TraceContext", "expand_trace", "trace_multiply"]
+__all__ = [
+    "Region",
+    "TraceEvent",
+    "TraceContext",
+    "expand_trace",
+    "expand_trace_chunks",
+    "trace_multiply",
+]
+
+# Default ceiling on elements held by the streaming expander before a
+# chunk is emitted (8 MB of int64 addresses).
+DEFAULT_CHUNK_ELEMENTS = 1 << 20
 
 
 @dataclasses.dataclass(frozen=True)
@@ -186,16 +197,20 @@ def _mul_addresses(ev: TraceEvent, bases: dict[int, int], machine: MachineModel)
     return pieces
 
 
-def expand_trace(
+def expand_trace_chunks(
     events: list[TraceEvent],
     machine: MachineModel,
     space_sizes: dict[int, int] | None = None,
-) -> np.ndarray:
-    """Lower recorded events to a line-granularity byte-address stream.
+    max_elements: int = DEFAULT_CHUNK_ELEMENTS,
+):
+    """Stream the line-granularity byte-address trace in bounded chunks.
 
-    Streamed additions touch each operand line once; leaf multiplies are
-    expanded with the leaf kernel's reuse pattern (see
-    :func:`_mul_addresses`).
+    Yields int64 address arrays whose concatenation equals
+    :func:`expand_trace`'s output, holding at most ``max_elements``
+    addresses (plus one event's expansion) at a time — multi-hundred-
+    million-access traces never materialize whole.  Feed the chunks to
+    :class:`repro.memsim.hierarchy.HierarchySimulator` for bounded-
+    memory simulation.
     """
     aspace = AddressSpace(machine)
     sizes = space_sizes or {}
@@ -206,18 +221,47 @@ def expand_trace(
             bases[space] = aspace.base(space, sizes.get(space, 0) * machine.itemsize)
         return bases[space]
 
-    pieces = []
+    pieces: list[np.ndarray] = []
+    held = 0
     for ev in events:
         for r in ev.reads + (ev.write,):
             base_of(r.space)
         if ev.kind == "mul" and len(ev.reads) == 2:
-            pieces.extend(_mul_addresses(ev, bases, machine))
+            new = _mul_addresses(ev, bases, machine)
         else:
-            for r in ev.reads + (ev.write,):
-                pieces.append(region_line_addresses(r, bases[r.space], machine))
-    if not pieces:
+            new = [
+                region_line_addresses(r, bases[r.space], machine)
+                for r in ev.reads + (ev.write,)
+            ]
+        for p in new:
+            pieces.append(p)
+            held += p.size
+        if held >= max_elements:
+            yield np.concatenate(pieces)
+            pieces = []
+            held = 0
+    if pieces:
+        yield np.concatenate(pieces)
+
+
+def expand_trace(
+    events: list[TraceEvent],
+    machine: MachineModel,
+    space_sizes: dict[int, int] | None = None,
+) -> np.ndarray:
+    """Lower recorded events to a line-granularity byte-address stream.
+
+    Streamed additions touch each operand line once; leaf multiplies are
+    expanded with the leaf kernel's reuse pattern (see
+    :func:`_mul_addresses`).  One-shot form of
+    :func:`expand_trace_chunks`.
+    """
+    chunks = list(expand_trace_chunks(events, machine, space_sizes))
+    if not chunks:
         return np.zeros(0, dtype=np.int64)
-    return np.concatenate(pieces)
+    if len(chunks) == 1:
+        return chunks[0]
+    return np.concatenate(chunks)
 
 
 def trace_multiply(
