@@ -198,6 +198,51 @@ def _cmd_accuracy(args) -> None:
     ))
 
 
+def _cmd_sanitize(args) -> None:
+    from repro.layouts.registry import RECURSIVE_LAYOUTS
+    from repro.sanitize import resolve_layout, sanitize_multiply
+
+    if args.all or args.algorithm is None or args.layout is None:
+        algorithms = (
+            [args.algorithm] if args.algorithm
+            else ["standard", "strassen", "winograd"]
+        )
+        layouts = [args.layout] if args.layout else list(RECURSIVE_LAYOUTS) + ["LC"]
+    else:
+        algorithms = [args.algorithm]
+        layouts = [args.layout]
+
+    rows = []
+    failed = False
+    findings: list[str] = []
+    for algorithm in algorithms:
+        for layout in layouts:
+            rep = sanitize_multiply(
+                algorithm, resolve_layout(layout), args.n,
+                tile=args.tile, mode=args.mode,
+            )
+            rows.append([
+                rep.algorithm, rep.layout, rep.n_events, rep.n_tasks,
+                rep.n_race_pairs, rep.n_false_sharing_pairs,
+                len(rep.bounds), len(rep.bijection),
+                "OK" if rep.ok else "FAIL",
+            ])
+            if not rep.ok:
+                failed = True
+                findings.append(rep.details())
+    print(format_table(
+        ["algorithm", "layout", "events", "tasks", "races",
+         "false sharing", "bounds", "bijection", "verdict"],
+        rows,
+        f"Determinacy-race sanitizer (n={args.n}, tile={args.tile})",
+    ))
+    for block in findings:
+        print()
+        print(block)
+    if failed:
+        raise SystemExit(1)
+
+
 def _cmd_gemm(args) -> None:
     from repro import dgemm
 
@@ -293,6 +338,23 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--fast", default="strassen")
     s.add_argument("--workloads", nargs="+", default=["gaussian", "graded"])
     s.set_defaults(fn=_cmd_accuracy)
+
+    s = sub.add_parser(
+        "sanitize",
+        help="determinacy-race + bounds/bijection sanitizer over a traced multiply",
+    )
+    s.add_argument("--algorithm", "-a", default=None,
+                   help="algorithm name (default: standard, strassen, winograd)")
+    s.add_argument("--layout", "-l", default=None,
+                   help="layout name or alias, e.g. LZ or hilbert "
+                        "(default: all five recursive layouts + LC)")
+    s.add_argument("-n", "--n", type=int, default=64)
+    s.add_argument("--tile", type=int, default=16)
+    s.add_argument("--mode", default="accumulate",
+                   help="standard algorithm spawn structure (accumulate|temps)")
+    s.add_argument("--all", action="store_true",
+                   help="sweep all three algorithms over all layouts")
+    s.set_defaults(fn=_cmd_sanitize)
 
     s = sub.add_parser("gemm", help="run one dgemm and show its cost breakdown")
     s.add_argument("--m", type=int, default=300)

@@ -8,14 +8,12 @@ documented per driver and accepted as arguments.
 
 from __future__ import annotations
 
-import time
 from typing import Sequence
 
 import numpy as np
 
 from repro.algorithms.dgemm import dgemm
 from repro.algorithms.locality import footprint_counts
-from repro.algorithms.opcount import op_count
 from repro.analysis.timing import measure
 from repro.layouts.curves import dilation_profile
 from repro.layouts.registry import PAPER_LAYOUTS

@@ -45,7 +45,10 @@ from repro.memsim.trace import (
     TraceEvent,
     expand_trace,
     expand_trace_chunks,
+    run_traced_multiply,
     trace_multiply,
+    view_buffer,
+    view_region,
 )
 
 __all__ = [
@@ -87,5 +90,8 @@ __all__ = [
     "TraceEvent",
     "expand_trace",
     "expand_trace_chunks",
+    "run_traced_multiply",
     "trace_multiply",
+    "view_buffer",
+    "view_region",
 ]

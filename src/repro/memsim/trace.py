@@ -34,7 +34,10 @@ __all__ = [
     "TraceContext",
     "expand_trace",
     "expand_trace_chunks",
+    "run_traced_multiply",
     "trace_multiply",
+    "view_buffer",
+    "view_region",
 ]
 
 # Default ceiling on elements held by the streaming expander before a
@@ -49,6 +52,11 @@ class Region:
     ``cols`` columns of ``rows`` contiguous elements each, column k
     starting at ``start + k * col_stride``.  Contiguous regions have
     ``cols == 1``.
+
+    Invariants are validated at construction: silently expanding a
+    malformed region would generate garbage addresses that poison every
+    downstream consumer (cache simulation, false-sharing analysis, race
+    detection).
     """
 
     space: int  # buffer identity
@@ -57,19 +65,47 @@ class Region:
     cols: int = 1
     col_stride: int = 0
 
+    def __post_init__(self) -> None:
+        if self.rows < 1:
+            raise ValueError(f"Region rows must be >= 1, got {self.rows}")
+        if self.cols < 1:
+            raise ValueError(f"Region cols must be >= 1, got {self.cols}")
+        if self.start < 0:
+            raise ValueError(f"Region start must be >= 0, got {self.start}")
+        if self.cols > 1 and self.col_stride < self.rows:
+            raise ValueError(
+                f"Region col_stride {self.col_stride} < rows {self.rows} "
+                f"with cols {self.cols}: columns would alias"
+            )
+
     @property
     def n_elements(self) -> int:
         """Total elements covered."""
         return self.rows * self.cols
 
+    @property
+    def end(self) -> int:
+        """One past the last element index covered (allocation bound)."""
+        if self.cols == 1:
+            return self.start + self.rows
+        return self.start + (self.cols - 1) * self.col_stride + self.rows
+
 
 @dataclasses.dataclass(frozen=True)
 class TraceEvent:
-    """One recorded operation: kind, written region, read regions."""
+    """One recorded operation: kind, written region, read regions.
+
+    ``task`` is the SP-tree leaf (:class:`repro.runtime.task.SPNode`)
+    the operation executed in, when the recording context's runtime
+    builds one (``TraceContext(TraceRuntime())``); ``None`` under the
+    serial runtime.  The determinacy-race sanitizer joins events to the
+    task DAG through this field.
+    """
 
     kind: str  # "mul" | "add"
     write: Region
     reads: tuple[Region, ...]
+    task: object = None
 
 
 def _dense_region(view: DenseView) -> Region:
@@ -106,27 +142,78 @@ def view_region(view) -> Region:
     raise TypeError(f"cannot trace view of type {type(view).__name__}")
 
 
+def view_buffer(view) -> np.ndarray:
+    """Backing root buffer of any matrix view (the object whose id is
+    the region's ``space``)."""
+    if isinstance(view, QuadView):
+        return view.matrix.buf
+    if isinstance(view, DenseView):
+        arr = view.array
+        while arr.base is not None:
+            arr = arr.base
+        return arr
+    raise TypeError(f"cannot trace view of type {type(view).__name__}")
+
+
 def _noop_kernel(c, a, b, accumulate=True) -> None:
     """Leaf kernel that skips the arithmetic (tracing only)."""
 
 
 class TraceContext(Context):
-    """Context that records operations instead of spending flops on them."""
+    """Context that records operations instead of spending flops on them.
 
-    __slots__ = ("events",)
+    Every operand's backing buffer is *pinned* for the context's
+    lifetime: regions identify buffers by ``id()``, so letting a
+    temporary be garbage-collected mid-trace would allow a later
+    allocation to reuse its id and silently alias two distinct buffers
+    into one address space.  ``space_allocs`` exposes the true
+    allocation size of every pinned buffer, which the bounds sanitizer
+    checks expanded regions against.
 
-    def __init__(self):
-        super().__init__(kernel=_noop_kernel)
+    Pass a :class:`~repro.runtime.cilk.TraceRuntime` as ``rt`` to stamp
+    each event with the SP-tree leaf it executed in (``TraceEvent.task``)
+    — required by the determinacy-race sanitizer.
+    """
+
+    __slots__ = ("events", "_pins")
+
+    def __init__(self, rt=None):
+        super().__init__(rt, kernel=_noop_kernel)
         self.events: list[TraceEvent] = []
+        self._pins: dict[int, np.ndarray] = {}
+
+    def _pin(self, view) -> None:
+        buf = view_buffer(view)
+        self._pins.setdefault(id(buf), buf)
+
+    @property
+    def space_allocs(self) -> dict[int, int]:
+        """Allocated element count of every buffer seen so far."""
+        return {space: buf.size for space, buf in self._pins.items()}
 
     def record_leaf(self, c, a, b) -> None:
+        for v in (c, a, b):
+            self._pin(v)
         self.events.append(
-            TraceEvent("mul", view_region(c), (view_region(a), view_region(b)))
+            TraceEvent(
+                "mul",
+                view_region(c),
+                (view_region(a), view_region(b)),
+                task=self.rt.current_task(),
+            )
         )
 
     def record_stream(self, out, *operands) -> None:
+        self._pin(out)
+        for o in operands:
+            self._pin(o)
         self.events.append(
-            TraceEvent("add", view_region(out), tuple(view_region(o) for o in operands))
+            TraceEvent(
+                "add",
+                view_region(out),
+                tuple(view_region(o) for o in operands),
+                task=self.rt.current_task(),
+            )
         )
 
 
@@ -264,21 +351,22 @@ def expand_trace(
     return np.concatenate(chunks)
 
 
-def trace_multiply(
+def run_traced_multiply(
     algorithm: str,
     layout: str,
     n: int,
     tile: int,
     mode: str = "accumulate",
     depth: int | None = None,
-) -> tuple[list[TraceEvent], dict[int, int]]:
-    """Record the events of one ``n x n`` multiply (no conversion phase).
+    ctx: TraceContext | None = None,
+) -> tuple[TraceContext, dict[int, int], Tiling]:
+    """Run one traced ``n x n`` multiply, returning context/sizes/tiling.
 
-    Returns the event list plus a map of buffer-space id -> element
-    count, for realistic virtual-address placement.  ``layout="LC"``
-    runs the canonical (strided) baseline.  ``depth`` pins the tile-grid
-    order (leaf tile becomes ``ceil(n / 2^depth)``) so sweeps over n
-    keep one grid regime; by default the grid adapts to ``tile``.
+    ``ctx`` lets callers supply a :class:`TraceContext` bound to a
+    task-recording runtime (the sanitizer does); by default the serial
+    runtime is used.  The returned sizes map buffer-space id -> element
+    count *as touched by the trace* (for virtual-address placement); the
+    context's ``space_allocs`` carries the true allocation sizes.
     """
     if depth is not None:
         t_leaf = -(-n // (1 << depth))
@@ -286,7 +374,7 @@ def trace_multiply(
     else:
         tiling = matmul_tiling_for_fixed_tile(n, n, n, tile)
         t = Tiling(tiling.d, tiling.t_m, tiling.t_n, n, n)
-    ctx = TraceContext()
+    ctx = ctx or TraceContext()
     multiply = ALGORITHMS[algorithm]
     if layout.upper() == "LC":
         mats = [
@@ -306,5 +394,25 @@ def trace_multiply(
     sizes: dict[int, int] = {}
     for ev in ctx.events:
         for r in ev.reads + (ev.write,):
-            sizes[r.space] = max(sizes.get(r.space, 0), r.start + r.n_elements)
+            sizes[r.space] = max(sizes.get(r.space, 0), r.end)
+    return ctx, sizes, t
+
+
+def trace_multiply(
+    algorithm: str,
+    layout: str,
+    n: int,
+    tile: int,
+    mode: str = "accumulate",
+    depth: int | None = None,
+) -> tuple[list[TraceEvent], dict[int, int]]:
+    """Record the events of one ``n x n`` multiply (no conversion phase).
+
+    Returns the event list plus a map of buffer-space id -> element
+    count, for realistic virtual-address placement.  ``layout="LC"``
+    runs the canonical (strided) baseline.  ``depth`` pins the tile-grid
+    order (leaf tile becomes ``ceil(n / 2^depth)``) so sweeps over n
+    keep one grid regime; by default the grid adapts to ``tile``.
+    """
+    ctx, sizes, _ = run_traced_multiply(algorithm, layout, n, tile, mode, depth)
     return ctx.events, sizes

@@ -77,6 +77,15 @@ class Runtime:
     def task_stream(self, elements: int) -> None:
         """Annotate a streaming pass that just executed."""
 
+    def current_task(self) -> SPNode | None:
+        """The task (SP-tree leaf) the last ``task_*`` annotation created.
+
+        Runtimes that do not build an SP tree return ``None``; the
+        determinacy-race sanitizer (:mod:`repro.sanitize`) requires a
+        runtime that returns real task identities (:class:`TraceRuntime`).
+        """
+        return None
+
 
 class SerialRuntime(Runtime):
     """Serial elision — plain depth-first execution."""
@@ -89,6 +98,7 @@ class TraceRuntime(Runtime):
         self.cost_model = cost_model or CostModel()
         self.root = SPNode("series", label="root")
         self._current = self.root
+        self._last_task: SPNode | None = None
 
     def spawn_all(self, thunks: Sequence[Thunk]) -> list[object]:
         par = self._current.add(SPNode("parallel"))
@@ -105,10 +115,18 @@ class TraceRuntime(Runtime):
         return results
 
     def task_multiply(self, m: int, k: int, n: int) -> None:
-        self._current.add(leaf(self.cost_model.multiply(m, k, n), "mul"))
+        self._last_task = self._current.add(
+            leaf(self.cost_model.multiply(m, k, n), "mul")
+        )
 
     def task_stream(self, elements: int) -> None:
-        self._current.add(leaf(self.cost_model.streamed(elements), "stream"))
+        self._last_task = self._current.add(
+            leaf(self.cost_model.streamed(elements), "stream")
+        )
+
+    def current_task(self) -> SPNode | None:
+        """Leaf created by the most recent ``task_*`` annotation."""
+        return self._last_task
 
 
 class ThreadRuntime(Runtime):

@@ -1,0 +1,34 @@
+"""Correctness-analysis subsystem: determinacy races, bounds, bijections.
+
+Joins the Cilk-model series-parallel task tree
+(:mod:`repro.runtime.task`) with the exact per-operation address trace
+(:mod:`repro.memsim.trace`) to certify the property the paper's
+parallel Strassen/Winograd variants depend on: no two logically
+parallel tasks conflict on memory.  See ``docs/MODELING.md`` ("Race
+detection & sanitizers") for the design, and ``python -m repro
+sanitize`` for the CLI.
+"""
+
+from repro.sanitize.checks import bounds_errors, check_layout_bijection
+from repro.sanitize.oracle import SPOracle
+from repro.sanitize.races import Conflict, ConflictScan, find_conflicts, regions_overlap
+from repro.sanitize.run import (
+    SanitizeReport,
+    analyze_events,
+    resolve_layout,
+    sanitize_multiply,
+)
+
+__all__ = [
+    "Conflict",
+    "ConflictScan",
+    "SPOracle",
+    "SanitizeReport",
+    "analyze_events",
+    "bounds_errors",
+    "check_layout_bijection",
+    "find_conflicts",
+    "regions_overlap",
+    "resolve_layout",
+    "sanitize_multiply",
+]

@@ -1,0 +1,116 @@
+"""Bounds- and layout-conformance sanitizers.
+
+Two structural checks ride along with the race scan:
+
+* :func:`bounds_errors` — every recorded region must land inside its
+  buffer's true allocation (sizes captured by the pinning
+  :class:`~repro.memsim.trace.TraceContext`).  An out-of-bounds region
+  means a quadrant-navigation or tiling bug that the address expander
+  would silently turn into garbage addresses.
+
+* :func:`check_layout_bijection` — every layout curve must be a
+  verified bijection on its tile-index space, in every orientation:
+  each rank ``0 .. 4^order - 1`` appears exactly once in
+  ``tile_order``, and for recursive curves the FSM inverse must round-
+  trip.  A non-bijective curve silently drops or duplicates tiles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.layouts.base import Layout, RecursiveLayout
+from repro.layouts.registry import get_layout
+from repro.memsim.trace import TraceEvent
+
+__all__ = ["bounds_errors", "check_layout_bijection"]
+
+
+def bounds_errors(
+    events: list[TraceEvent], allocs: dict[int, int]
+) -> list[str]:
+    """Regions escaping their buffer's allocation, as readable messages.
+
+    ``allocs`` maps buffer-space id -> allocated element count (use
+    ``TraceContext.space_allocs``).  Negative starts and degenerate
+    shapes are rejected at ``Region`` construction; this pass catches
+    the remaining failure mode — a well-formed region whose extent
+    spills past the end of its buffer.
+    """
+    problems: list[str] = []
+    for k, ev in enumerate(events):
+        for role, reg in (("write", ev.write),) + tuple(
+            ("read", r) for r in ev.reads
+        ):
+            size = allocs.get(reg.space)
+            if size is None:
+                problems.append(
+                    f"event #{k} ({ev.kind}): {role} region in unknown "
+                    f"buffer {reg.space:#x}"
+                )
+            elif reg.end > size:
+                problems.append(
+                    f"event #{k} ({ev.kind}): {role} region "
+                    f"[{reg.start}:{reg.end}] escapes buffer "
+                    f"{reg.space:#x} of {size} elements"
+                )
+    return problems
+
+
+def check_layout_bijection(layout: str | Layout, order: int) -> list[str]:
+    """Verify a layout curve is a bijection on the ``2^order`` tile grid.
+
+    Checks every orientation of the curve: the rank grid must be a
+    permutation of ``0 .. 4^order - 1``, and for recursive curves the
+    FSM inverse must invert the forward map exactly.  Returns readable
+    problem descriptions (empty list = verified).
+    """
+    layout = get_layout(layout)
+    problems: list[str] = []
+    side = 1 << order
+    size = side * side
+    for o in range(layout.n_orientations):
+        grid = np.asarray(layout.tile_order(order, o))
+        flat = grid.ravel()
+        if flat.size != size:
+            problems.append(
+                f"{layout.name} orientation {o}: grid has {flat.size} "
+                f"ranks, expected {size}"
+            )
+            continue
+        if flat.min() < 0 or flat.max() >= size:
+            problems.append(
+                f"{layout.name} orientation {o}: ranks outside "
+                f"[0, {size}) (min {flat.min()}, max {flat.max()})"
+            )
+            continue
+        counts = np.bincount(flat, minlength=size)
+        if np.any(counts != 1):
+            dup = int(np.flatnonzero(counts > 1)[0])
+            problems.append(
+                f"{layout.name} orientation {o}: not a permutation of the "
+                f"tile-index space (rank {dup} appears {counts[dup]} times)"
+            )
+            continue
+        if isinstance(layout, RecursiveLayout):
+            ii, jj = np.meshgrid(
+                np.arange(side), np.arange(side), indexing="ij"
+            )
+            s = layout.s_fsm(ii, jj, order, o)
+            i2, j2 = layout.s_inv_fsm(s, order, o)
+            if not (
+                np.array_equal(i2.astype(np.int64), ii)
+                and np.array_equal(j2.astype(np.int64), jj)
+            ):
+                problems.append(
+                    f"{layout.name} orientation {o}: s_inv does not invert s"
+                )
+            if o == 0 and not np.array_equal(
+                np.asarray(layout.s(ii, jj, order), dtype=np.int64),
+                s.astype(np.int64),
+            ):
+                problems.append(
+                    f"{layout.name}: closed-form s disagrees with the "
+                    f"quadrant FSM at order {order}"
+                )
+    return problems

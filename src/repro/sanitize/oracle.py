@@ -1,0 +1,86 @@
+"""SP-parallelism oracle: O(1) "logically parallel?" queries.
+
+Cilk computations are series-parallel DAGs, so logical parallelism of
+two tasks is decidable from the SP tree alone: tasks ``u`` and ``v``
+are parallel iff their least common ancestor is a *parallel* node.
+Testing that per pair via LCA walks would cost O(depth); instead we use
+the classic English-Hebrew labeling (Nudler & Rudolph; the same oracle
+family Cilk's Nondeterminator builds on):
+
+* the **English** order visits every composition's children
+  left-to-right (program order of the serial elision);
+* the **Hebrew** order visits *series* children left-to-right but
+  *parallel* children right-to-left.
+
+A series composition orders its children identically in both labelings;
+a parallel composition orders them oppositely.  Hence two distinct
+leaves are logically parallel **iff the two orders disagree** — one
+integer comparison per order, vectorizable over millions of pairs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.task import SPNode
+
+__all__ = ["SPOracle"]
+
+
+class SPOracle:
+    """English-Hebrew labeling of an SP tree's leaves.
+
+    Leaves are indexed by English (program-order) rank; ``row_of`` maps
+    a leaf node to its rank and :meth:`parallel` answers vectorized
+    parallelism queries over rank arrays.
+    """
+
+    def __init__(self, root: SPNode):
+        self.root = root
+        english: dict[int, int] = {}
+        stack: list[SPNode] = [root]
+        n_leaves = 0
+        while stack:
+            node = stack.pop()
+            if node.kind == "leaf":
+                english[id(node)] = n_leaves
+                n_leaves += 1
+                continue
+            stack.extend(reversed(node.children))
+        hebrew = np.zeros(n_leaves, dtype=np.int64)
+        stack = [root]
+        rank = 0
+        while stack:
+            node = stack.pop()
+            if node.kind == "leaf":
+                hebrew[english[id(node)]] = rank
+                rank += 1
+                continue
+            if node.kind == "parallel":
+                # Reversed visit order: pushing in order pops reversed.
+                stack.extend(node.children)
+            else:
+                stack.extend(reversed(node.children))
+        self._english = english
+        self.hebrew = hebrew
+
+    @property
+    def n_leaves(self) -> int:
+        """Number of leaf tasks labeled."""
+        return len(self._english)
+
+    def row_of(self, task: SPNode) -> int:
+        """English rank of a leaf task (KeyError if not in this tree)."""
+        return self._english[id(task)]
+
+    def parallel(self, a, b) -> np.ndarray:
+        """Elementwise: are leaves of English ranks ``a`` and ``b``
+        logically parallel?  Broadcasts like numpy; a leaf is serial
+        with itself."""
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        return (a < b) != (self.hebrew[a] < self.hebrew[b])
+
+    def parallel_scalar(self, u: SPNode, v: SPNode) -> bool:
+        """Are two leaf tasks logically parallel?"""
+        return bool(self.parallel(self.row_of(u), self.row_of(v)))

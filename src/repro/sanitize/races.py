@@ -1,0 +1,299 @@
+"""Vectorized determinacy-race and false-sharing detection.
+
+Joins an address trace (``TraceEvent`` operand regions) with the SP
+task tree (via :class:`repro.sanitize.oracle.SPOracle`) and reports
+every pair of logically parallel accesses to overlapping storage where
+at least one access writes:
+
+* **races** — the two accesses touch a common *element*: the program's
+  result depends on the schedule (a determinacy race in Cilk's sense);
+* **false-sharing warnings** — the accesses touch a common *cache
+  line* but disjoint elements: correct, but coherence traffic scales
+  with the schedule (the pathology :mod:`repro.memsim.coherence`
+  quantifies from the processor-assignment side).
+
+The scan is organized to stay cheap on real traces: accesses are
+grouped by buffer (regions in different buffers can never overlap —
+virtual bases are page-disjoint), buffers that are never written are
+skipped outright, identical regions are collapsed to one table entry,
+and region pairs are prefiltered by bounding-interval overlap before
+the exact strided-column test runs.  Parallelism queries are O(1)
+English-Hebrew label comparisons, evaluated as one broadcast per
+surviving region pair.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.memsim.machine import MachineModel, scaled
+from repro.memsim.trace import Region, TraceEvent
+from repro.sanitize.oracle import SPOracle
+
+__all__ = ["Conflict", "ConflictScan", "find_conflicts", "regions_overlap"]
+
+# Ceiling on broadcast sizes for the all-pairs bounding-box prefilter.
+_PAIR_CHUNK = 2048
+
+
+@dataclasses.dataclass(frozen=True)
+class Conflict:
+    """One detected conflict class: a region pair with parallel accesses.
+
+    ``event_a`` / ``event_b`` index one example pair into the scanned
+    event list; ``n_pairs`` counts every parallel conflicting pair on
+    this region pair.
+    """
+
+    kind: str  # "race" | "false-sharing"
+    access: str  # "W/W" | "W/R"
+    space: int
+    region_a: Region
+    region_b: Region
+    event_a: int
+    event_b: int
+    task_a: str
+    task_b: str
+    n_pairs: int
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return (
+            f"{self.kind} [{self.access}] space={self.space:#x} "
+            f"events #{self.event_a} ({self.task_a}) || "
+            f"#{self.event_b} ({self.task_b}) "
+            f"regions [{self.region_a.start}:{self.region_a.end}] / "
+            f"[{self.region_b.start}:{self.region_b.end}] "
+            f"({self.n_pairs} parallel pair{'s' if self.n_pairs != 1 else ''})"
+        )
+
+
+@dataclasses.dataclass
+class ConflictScan:
+    """Aggregate result of one race/false-sharing scan."""
+
+    races: list[Conflict]
+    false_sharing: list[Conflict]
+    n_race_pairs: int
+    n_false_sharing_pairs: int
+
+    @property
+    def race_free(self) -> bool:
+        """True when no determinacy race was found."""
+        return not self.races
+
+
+def _column_bounds(reg: Region) -> tuple[np.ndarray, np.ndarray]:
+    """Inclusive (lo, hi) element index of every column of a region."""
+    stride = reg.col_stride if reg.cols > 1 else 0
+    lo = reg.start + np.arange(reg.cols, dtype=np.int64) * stride
+    return lo, lo + reg.rows - 1
+
+
+def regions_overlap(r1: Region, r2: Region, item: int, gran: int) -> bool:
+    """Do two same-space regions touch a common ``gran``-byte block?
+
+    ``gran == item`` tests element overlap; ``gran == line`` tests
+    cache-line overlap (buffer bases are page-aligned, so block indices
+    relative to the buffer are exact).
+    """
+    lo1, hi1 = _column_bounds(r1)
+    lo2, hi2 = _column_bounds(r2)
+    a_lo = lo1 * item // gran
+    a_hi = (hi1 * item + item - 1) // gran
+    b_lo = lo2 * item // gran
+    b_hi = (hi2 * item + item - 1) // gran
+    return bool(
+        np.any((a_lo[:, None] <= b_hi[None, :]) & (b_lo[None, :] <= a_hi[:, None]))
+    )
+
+
+def _candidate_region_pairs(
+    lo: np.ndarray, hi: np.ndarray, has_write: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Distinct region pairs (i < j) whose bounding byte intervals
+    overlap and where at least one side is ever written."""
+    n = lo.size
+    out_i: list[np.ndarray] = []
+    out_j: list[np.ndarray] = []
+    for c0 in range(0, n, _PAIR_CHUNK):
+        c1 = min(n, c0 + _PAIR_CHUNK)
+        bbox = (lo[c0:c1, None] <= hi[None, :]) & (lo[None, :] <= hi[c0:c1, None])
+        bbox &= has_write[c0:c1, None] | has_write[None, :]
+        ii, jj = np.nonzero(bbox)
+        keep = ii + c0 < jj
+        out_i.append(ii[keep] + c0)
+        out_j.append(jj[keep])
+    return np.concatenate(out_i), np.concatenate(out_j)
+
+
+def find_conflicts(
+    events: list[TraceEvent],
+    oracle: SPOracle,
+    machine: MachineModel | None = None,
+    max_reports: int = 64,
+) -> ConflictScan:
+    """Scan a task-attributed trace for races and false sharing.
+
+    Every event must carry a task from the oracle's SP tree (trace with
+    ``TraceContext(TraceRuntime())``); a missing task is a usage error,
+    not a silent skip.
+    """
+    machine = machine or scaled()
+    item = machine.itemsize
+    line = machine.l1.line
+    scan = ConflictScan([], [], 0, 0)
+    if not events:
+        return scan
+
+    rows = np.empty(len(events), dtype=np.int64)
+    labels: list[str] = []
+    for k, ev in enumerate(events):
+        if ev.task is None:
+            raise ValueError(
+                f"event #{k} has no task identity; record the trace with "
+                "TraceContext(TraceRuntime()) so events map to SP-tree leaves"
+            )
+        rows[k] = oracle.row_of(ev.task)
+        labels.append(f"{getattr(ev.task, 'label', '') or ev.kind}@{rows[k]}")
+
+    # Accesses grouped by buffer: (event index, region, is_write).
+    by_space: dict[int, list[tuple[int, Region, bool]]] = {}
+    for k, ev in enumerate(events):
+        by_space.setdefault(ev.write.space, []).append((k, ev.write, True))
+        for r in ev.reads:
+            by_space.setdefault(r.space, []).append((k, r, False))
+
+    for space, accs in by_space.items():
+        if not any(w for _, _, w in accs):
+            continue  # never written: no conflict can involve this buffer
+        _scan_space(space, accs, rows, labels, oracle, item, line, scan, max_reports)
+    return scan
+
+
+def _scan_space(
+    space: int,
+    accs: list[tuple[int, Region, bool]],
+    rows: np.ndarray,
+    labels: list[str],
+    oracle: SPOracle,
+    item: int,
+    line: int,
+    scan: ConflictScan,
+    max_reports: int,
+) -> None:
+    """Scan one buffer's accesses; append findings to ``scan``."""
+    regions: list[Region] = []
+    rid_of: dict[tuple[int, int, int, int], int] = {}
+    acc_ev = np.empty(len(accs), dtype=np.int64)
+    acc_rid = np.empty(len(accs), dtype=np.int64)
+    acc_w = np.empty(len(accs), dtype=bool)
+    for k, (ev_idx, reg, w) in enumerate(accs):
+        key = (reg.start, reg.rows, reg.cols, reg.col_stride)
+        rid = rid_of.get(key)
+        if rid is None:
+            rid = rid_of[key] = len(regions)
+            regions.append(reg)
+        acc_ev[k] = ev_idx
+        acc_rid[k] = rid
+        acc_w[k] = w
+    n_regions = len(regions)
+
+    has_write = np.zeros(n_regions, dtype=bool)
+    np.logical_or.at(has_write, acc_rid, acc_w)
+    order = np.argsort(acc_rid, kind="stable")
+    starts = np.searchsorted(acc_rid[order], np.arange(n_regions + 1))
+
+    def accesses_of(rid: int) -> np.ndarray:
+        return order[starts[rid] : starts[rid + 1]]
+
+    # Bounding byte intervals, widened to full cache lines so the
+    # prefilter keeps pairs that share a line without sharing a byte
+    # (adjacent regions straddling one line are exactly false sharing).
+    lo = np.array([r.start for r in regions], dtype=np.int64) * item
+    hi = np.array([r.end for r in regions], dtype=np.int64) * item - 1
+    lo = lo // line * line
+    hi = hi // line * line + line - 1
+
+    # Same-region conflicts: full element overlap by construction.
+    for rid in range(n_regions):
+        if not has_write[rid]:
+            continue
+        sel = accesses_of(rid)
+        if sel.size >= 2:
+            _check_pair(
+                space, regions[rid], regions[rid], sel, sel, True,
+                acc_ev, acc_w, rows, labels, oracle, scan, max_reports,
+            )
+
+    # Distinct-region conflicts, bounding-box prefiltered.
+    ii, jj = _candidate_region_pairs(lo, hi, has_write)
+    for ri, rj in zip(ii.tolist(), jj.tolist()):
+        ra, rb = regions[ri], regions[rj]
+        if regions_overlap(ra, rb, item, item):
+            element_level = True
+        elif regions_overlap(ra, rb, item, line):
+            element_level = False
+        else:
+            continue
+        _check_pair(
+            space, ra, rb, accesses_of(ri), accesses_of(rj), element_level,
+            acc_ev, acc_w, rows, labels, oracle, scan, max_reports,
+        )
+
+
+def _check_pair(
+    space: int,
+    ra: Region,
+    rb: Region,
+    sel_a: np.ndarray,
+    sel_b: np.ndarray,
+    element_level: bool,
+    acc_ev: np.ndarray,
+    acc_w: np.ndarray,
+    rows: np.ndarray,
+    labels: list[str],
+    oracle: SPOracle,
+    scan: ConflictScan,
+    max_reports: int,
+) -> None:
+    """Test all access pairs of one overlapping region pair."""
+    ev_a, w_a = acc_ev[sel_a], acc_w[sel_a]
+    ev_b, w_b = acc_ev[sel_b], acc_w[sel_b]
+    conflict = oracle.parallel(rows[ev_a][:, None], rows[ev_b][None, :])
+    conflict &= w_a[:, None] | w_b[None, :]
+    conflict &= ev_a[:, None] != ev_b[None, :]
+    if sel_a is sel_b:
+        # Same access set: count each unordered pair once.
+        conflict &= np.tri(sel_a.size, k=-1, dtype=bool).T
+    if not conflict.any():
+        return
+    ww = conflict & (w_a[:, None] & w_b[None, :])
+    for access, mask in (("W/W", ww), ("W/R", conflict & ~ww)):
+        n_pairs = int(np.count_nonzero(mask))
+        if not n_pairs:
+            continue
+        p, q = np.unravel_index(int(np.flatnonzero(mask)[0]), mask.shape)
+        ea, eb = int(ev_a[p]), int(ev_b[q])
+        conflict_rec = Conflict(
+            kind="race" if element_level else "false-sharing",
+            access=access,
+            space=space,
+            region_a=ra,
+            region_b=rb,
+            event_a=ea,
+            event_b=eb,
+            task_a=labels[ea],
+            task_b=labels[eb],
+            n_pairs=n_pairs,
+        )
+        if element_level:
+            scan.n_race_pairs += n_pairs
+            if len(scan.races) < max_reports:
+                scan.races.append(conflict_rec)
+        else:
+            scan.n_false_sharing_pairs += n_pairs
+            if len(scan.false_sharing) < max_reports:
+                scan.false_sharing.append(conflict_rec)

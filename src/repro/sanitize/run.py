@@ -1,0 +1,166 @@
+"""Sanitizer driver: trace one multiply under a task-recording runtime
+and run every check on the result.
+
+``sanitize_multiply`` is what the CLI (``python -m repro sanitize``) and
+the pytest fixture call: it executes the requested algorithm x layout
+with :class:`~repro.runtime.cilk.TraceRuntime` + pinning
+:class:`~repro.memsim.trace.TraceContext`, builds the SP-parallelism
+oracle from the recorded spawn tree, and reports determinacy races,
+false-sharing warnings, bounds violations and layout-bijection
+failures in one :class:`SanitizeReport`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.algorithms.dgemm import ALGORITHMS
+from repro.layouts.registry import get_layout
+from repro.memsim.machine import MachineModel, scaled
+from repro.memsim.trace import TraceContext, TraceEvent, run_traced_multiply
+from repro.runtime.cilk import CostModel, TraceRuntime
+from repro.sanitize.checks import bounds_errors, check_layout_bijection
+from repro.sanitize.oracle import SPOracle
+from repro.sanitize.races import Conflict, find_conflicts
+
+__all__ = ["SanitizeReport", "analyze_events", "resolve_layout", "sanitize_multiply"]
+
+#: Friendly layout spellings accepted by the CLI in addition to the
+#: registry names (``LZ``, ``LH``, ...).
+LAYOUT_ALIASES = {
+    "u": "LU",
+    "umorton": "LU",
+    "u-morton": "LU",
+    "x": "LX",
+    "xmorton": "LX",
+    "x-morton": "LX",
+    "z": "LZ",
+    "morton": "LZ",
+    "zmorton": "LZ",
+    "z-morton": "LZ",
+    "gray": "LG",
+    "graymorton": "LG",
+    "gray-morton": "LG",
+    "hilbert": "LH",
+    "canonical": "LC",
+    "colmajor": "LC",
+    "rowmajor": "LR",
+}
+
+
+def resolve_layout(name: str) -> str:
+    """Registry name for a layout given either form (``LH``/``hilbert``)."""
+    key = str(name).strip()
+    alias = LAYOUT_ALIASES.get(key.lower().replace("_", "-"))
+    if alias is not None:
+        return alias
+    return get_layout(key).name
+
+
+@dataclasses.dataclass
+class SanitizeReport:
+    """Everything one sanitizer pass found for one algorithm x layout."""
+
+    algorithm: str
+    layout: str
+    n: int
+    tile: int
+    n_events: int
+    n_tasks: int
+    races: list[Conflict]
+    false_sharing: list[Conflict]
+    n_race_pairs: int
+    n_false_sharing_pairs: int
+    bounds: list[str]
+    bijection: list[str]
+
+    @property
+    def ok(self) -> bool:
+        """True when no *error* was found (false sharing only warns)."""
+        return not (self.races or self.bounds or self.bijection)
+
+    def summary(self) -> str:
+        """One-line verdict for tables and logs."""
+        status = "OK" if self.ok else "FAIL"
+        return (
+            f"{status}: {self.algorithm}/{self.layout} n={self.n} "
+            f"t={self.tile}: {self.n_events} events, {self.n_tasks} tasks, "
+            f"{self.n_race_pairs} race pairs, "
+            f"{self.n_false_sharing_pairs} false-sharing pairs, "
+            f"{len(self.bounds)} bounds errors, "
+            f"{len(self.bijection)} bijection errors"
+        )
+
+    def details(self) -> str:
+        """Multi-line report of every finding."""
+        lines = [self.summary()]
+        lines.extend("  " + c.describe() for c in self.races)
+        lines.extend("  " + c.describe() for c in self.false_sharing)
+        lines.extend("  bounds: " + p for p in self.bounds)
+        lines.extend("  bijection: " + p for p in self.bijection)
+        return "\n".join(lines)
+
+
+def analyze_events(
+    events: list[TraceEvent],
+    oracle: SPOracle,
+    allocs: dict[int, int] | None = None,
+    machine: MachineModel | None = None,
+    max_reports: int = 64,
+):
+    """Race scan + bounds check over an already-recorded event list.
+
+    Building block for :func:`sanitize_multiply` and for tests that
+    seed hand-built traces; returns ``(ConflictScan, bounds_problems)``.
+    """
+    scan = find_conflicts(events, oracle, machine, max_reports)
+    problems = bounds_errors(events, allocs) if allocs is not None else []
+    return scan, problems
+
+
+def sanitize_multiply(
+    algorithm: str,
+    layout: str,
+    n: int,
+    tile: int = 16,
+    mode: str = "accumulate",
+    depth: int | None = None,
+    machine: MachineModel | None = None,
+    max_reports: int = 64,
+) -> SanitizeReport:
+    """Trace one ``n x n`` multiply and run every sanitizer on it.
+
+    ``layout`` accepts registry names (``LZ``) or friendly aliases
+    (``hilbert``); ``machine`` defaults to the scaled UltraSPARC-like
+    geometry (its L1 line defines the false-sharing granularity).
+    """
+    if algorithm not in ALGORITHMS:
+        raise KeyError(
+            f"unknown algorithm {algorithm!r}; known: {sorted(ALGORITHMS)}"
+        )
+    layout = resolve_layout(layout)
+    machine = machine or scaled()
+    rt = TraceRuntime(CostModel(spawn=0.0))
+    ctx = TraceContext(rt)
+    ctx, _, tiling = run_traced_multiply(
+        algorithm, layout, n, tile, mode=mode, depth=depth, ctx=ctx
+    )
+    oracle = SPOracle(rt.root)
+    scan, bounds = analyze_events(
+        ctx.events, oracle, ctx.space_allocs, machine, max_reports
+    )
+    bijection = check_layout_bijection(layout, tiling.d)
+    return SanitizeReport(
+        algorithm=algorithm,
+        layout=layout,
+        n=n,
+        tile=tiling.t_r,
+        n_events=len(ctx.events),
+        n_tasks=oracle.n_leaves,
+        races=scan.races,
+        false_sharing=scan.false_sharing,
+        n_race_pairs=scan.n_race_pairs,
+        n_false_sharing_pairs=scan.n_false_sharing_pairs,
+        bounds=bounds,
+        bijection=bijection,
+    )

@@ -11,6 +11,23 @@ def rng():
     return np.random.default_rng(12345)
 
 
+@pytest.fixture
+def assert_race_free():
+    """Run the determinacy-race sanitizer on one algorithm x layout and
+    assert it comes back clean (races, bounds and bijection all empty);
+    returns the full report for further assertions."""
+    from repro.sanitize import sanitize_multiply
+
+    def check(algorithm, layout, n=24, tile=8, **kwargs):
+        report = sanitize_multiply(algorithm, layout, n, tile=tile, **kwargs)
+        assert report.races == [], "\n".join(c.describe() for c in report.races)
+        assert report.bounds == []
+        assert report.bijection == []
+        return report
+
+    return check
+
+
 def pytest_configure(config):
     config.addinivalue_line("markers", "slow: long-running test")
 

@@ -2,7 +2,6 @@
 temps mode, canonical C-order tracing, partition cost preferences."""
 
 import numpy as np
-import pytest
 
 from repro.algorithms.dgemm import dgemm
 from repro.matrix.tile import TileRange

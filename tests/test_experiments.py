@@ -1,7 +1,6 @@
 """Experiment drivers: they run, and the paper's qualitative claims hold
 at test scale."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.experiments import (

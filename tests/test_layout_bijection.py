@@ -1,0 +1,98 @@
+"""Layout-bijection verification (repro.sanitize.checks) as properties.
+
+The sanitizer certifies that every curve is a permutation of its tile-
+index space at the orders real multiplies actually pad to — including
+non-power-of-two logical sizes — and that the check itself has teeth
+(a deliberately corrupted curve is caught).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.layouts.base import RecursiveLayout
+from repro.layouts.morton import ZMorton
+from repro.matrix.tile import matmul_tiling_for_fixed_tile
+from repro.sanitize import check_layout_bijection
+from tests.conftest import ALL_RECURSIVE
+
+#: Non-power-of-two logical sizes and the tile-grid order each pads to.
+NON_POW2_SIZES = [24, 36, 56, 100]
+
+
+def padded_order(n: int, tile: int = 8) -> int:
+    return matmul_tiling_for_fixed_tile(n, n, n, tile).d
+
+
+@pytest.mark.parametrize("layout", ALL_RECURSIVE)
+@pytest.mark.parametrize("n", NON_POW2_SIZES)
+def test_curves_are_permutations_at_padded_sizes(layout, n):
+    """All five curves verify clean at every padded non-pow2 order."""
+    order = padded_order(n)
+    assert order >= 1
+    assert check_layout_bijection(layout, order) == []
+
+
+@pytest.mark.parametrize("layout", ALL_RECURSIVE)
+def test_degenerate_orders(layout):
+    assert check_layout_bijection(layout, 0) == []
+    assert check_layout_bijection(layout, 1) == []
+
+
+@given(order=st.integers(min_value=1, max_value=5))
+@settings(max_examples=20, deadline=None)
+def test_any_order_any_curve(order):
+    for layout in ALL_RECURSIVE:
+        assert check_layout_bijection(layout, order) == []
+
+
+class _DuplicatedRankCurve(ZMorton):
+    """Z-Morton with one rank overwritten: drops a tile, repeats another."""
+
+    name = "LZ-corrupt"
+
+    def tile_order(self, order, orientation=0):
+        grid = np.array(super().tile_order(order, orientation))
+        if grid.size >= 4:
+            grid.ravel()[0] = grid.ravel()[1]
+        return grid
+
+
+class _ShiftedInverseCurve(ZMorton):
+    """Forward map intact, inverse off by one: roundtrip must fail."""
+
+    name = "LZ-badinv"
+
+    def s_inv_fsm(self, s, order, orientation=0):
+        i, j = super().s_inv_fsm(s, order, orientation)
+        side = 1 << order
+        return (i + 1) % side, j
+
+
+def test_check_catches_duplicated_rank():
+    problems = check_layout_bijection(_DuplicatedRankCurve(), 2)
+    assert problems
+    assert any("not a permutation" in p for p in problems)
+
+
+def test_check_catches_broken_inverse():
+    problems = check_layout_bijection(_ShiftedInverseCurve(), 2)
+    assert any("does not invert" in p for p in problems)
+
+
+def test_check_catches_out_of_range_ranks():
+    class _Shifted(ZMorton):
+        name = "LZ-shift"
+
+        def tile_order(self, order, orientation=0):
+            return np.array(super().tile_order(order, orientation)) + 1
+
+    problems = check_layout_bijection(_Shifted(), 2)
+    assert any("outside" in p for p in problems)
+
+
+def test_all_registered_recursive_curves_are_recursive():
+    from repro.layouts.registry import get_layout
+
+    for name in ALL_RECURSIVE:
+        assert isinstance(get_layout(name), RecursiveLayout)

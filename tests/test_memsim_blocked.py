@@ -1,6 +1,5 @@
 """Blocked-canonical ablation layout (tiling without recursive order)."""
 
-import numpy as np
 import pytest
 
 from repro.memsim.hierarchy import simulate_hierarchy

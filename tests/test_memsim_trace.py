@@ -1,7 +1,6 @@
 """Trace recording from real executions, and address expansion."""
 
 import numpy as np
-import pytest
 
 from repro.algorithms.opcount import op_count
 from repro.memsim.machine import ultrasparc_like

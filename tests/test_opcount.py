@@ -1,6 +1,5 @@
 """Operation-count recurrences, cross-checked against instrumentation."""
 
-import numpy as np
 import pytest
 
 from repro.algorithms.opcount import crossover_depth, op_count

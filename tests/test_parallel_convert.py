@@ -1,7 +1,6 @@
 """Parallel layout conversion and the modern machine model."""
 
 import numpy as np
-import pytest
 
 from repro.matrix import Tiling, from_tiled, to_tiled
 from repro.memsim.machine import modern_like, ultrasparc_like

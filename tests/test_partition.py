@@ -1,7 +1,6 @@
 """Wide/lean matrix partitioning (Figure 3)."""
 
 import numpy as np
-import pytest
 
 from repro.matrix.partition import BlockProduct, plan_partition
 from repro.matrix.tile import TileRange

@@ -13,7 +13,6 @@ from repro.matrix.tile import (
     TileRange,
     Tiling,
     matmul_tiling_for_fixed_tile,
-    select_matmul_tiling,
     InfeasibleTiling,
 )
 from repro.matrix.partition import plan_partition

@@ -1,7 +1,6 @@
 """Deeper runtime coverage: DAG-vs-analytic agreement, scheduler scale,
 cost-model knobs, trace-tree structure of real algorithms."""
 
-import numpy as np
 import pytest
 
 from repro.algorithms.dgemm import ALGORITHMS

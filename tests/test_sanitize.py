@@ -1,0 +1,326 @@
+"""Determinacy-race detector + trace sanitizer (repro.sanitize)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.recursion import stream_add
+from repro.matrix.tiledmatrix import TiledMatrix
+from repro.memsim.coherence import assign_by_output, false_sharing_stats
+from repro.memsim.machine import CacheGeometry, MachineModel
+from repro.memsim.trace import (
+    Region,
+    TraceContext,
+    TraceEvent,
+    trace_multiply,
+)
+from repro.runtime.cilk import CostModel, SerialRuntime, TraceRuntime
+from repro.runtime.task import leaf, parallel, series
+from repro.sanitize import (
+    SPOracle,
+    analyze_events,
+    bounds_errors,
+    find_conflicts,
+    regions_overlap,
+    resolve_layout,
+    sanitize_multiply,
+)
+from tests.conftest import ALL_ALGORITHMS, ALL_RECURSIVE
+
+#: 64-byte lines (8 doubles) so 4-element tile columns misalign: the
+#: false-sharing cross-check geometry.
+WIDE_LINE = MachineModel(
+    name="wide-line",
+    l1=CacheGeometry(1024, 64, 1),
+    l2=CacheGeometry(4096, 64, 1),
+    page=512,
+)
+
+
+def seeded_context():
+    """TraceRuntime-backed context plus a d=1 LZ matrix's quadrants."""
+    rt = TraceRuntime(CostModel(spawn=0.0))
+    ctx = TraceContext(rt)
+    mat = TiledMatrix.zeros("LZ", 1, 4, 4)
+    return rt, ctx, mat.root_view().quadrants()
+
+
+class TestSPOracle:
+    def test_series_is_serial(self):
+        a, b = leaf(1.0), leaf(1.0)
+        oracle = SPOracle(series(a, b))
+        assert not oracle.parallel_scalar(a, b)
+        assert not oracle.parallel_scalar(b, a)
+
+    def test_parallel_is_parallel(self):
+        a, b = leaf(1.0), leaf(1.0)
+        oracle = SPOracle(parallel(a, b))
+        assert oracle.parallel_scalar(a, b)
+        assert oracle.parallel_scalar(b, a)
+
+    def test_leaf_serial_with_itself(self):
+        a = leaf(1.0)
+        oracle = SPOracle(parallel(a, leaf(1.0)))
+        assert not oracle.parallel_scalar(a, a)
+
+    def test_nested_composition(self):
+        # series(parallel(series(a, b), c), d): a,b serial; a||c; all serial d.
+        a, b, c, d = (leaf(1.0) for _ in range(4))
+        oracle = SPOracle(series(parallel(series(a, b), c), d))
+        assert not oracle.parallel_scalar(a, b)
+        assert oracle.parallel_scalar(a, c)
+        assert oracle.parallel_scalar(b, c)
+        assert not oracle.parallel_scalar(a, d)
+        assert not oracle.parallel_scalar(c, d)
+
+    def test_vectorized_queries_match_scalar(self):
+        leaves = [leaf(1.0) for _ in range(6)]
+        root = series(
+            parallel(series(leaves[0], leaves[1]), leaves[2]),
+            parallel(leaves[3], leaves[4]),
+            leaves[5],
+        )
+        oracle = SPOracle(root)
+        rows = np.arange(6)
+        mat = oracle.parallel(rows[:, None], rows[None, :])
+        for i in range(6):
+            for j in range(6):
+                assert mat[i, j] == oracle.parallel_scalar(leaves[i], leaves[j])
+
+
+class TestRegionValidation:
+    def test_valid_region(self):
+        r = Region(1, 0, 4, 2, 4)
+        assert r.n_elements == 8
+        assert r.end == 8
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(start=-1, rows=4),
+            dict(start=0, rows=0),
+            dict(start=0, rows=4, cols=0),
+            dict(start=0, rows=4, cols=2, col_stride=3),  # columns alias
+        ],
+    )
+    def test_invalid_regions_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            Region(1, **{"cols": 1, "col_stride": 0, **kwargs})
+
+    def test_strided_end(self):
+        assert Region(1, 2, 3, 4, 10).end == 2 + 3 * 10 + 3
+
+
+class TestRegionOverlap:
+    def test_element_overlap(self):
+        a = Region(1, 0, 8)
+        b = Region(1, 7, 8)
+        c = Region(1, 8, 8)
+        assert regions_overlap(a, b, 8, 8)
+        assert not regions_overlap(a, c, 8, 8)
+
+    def test_line_only_overlap(self):
+        # Elements 0..3 and 4..7 share a 64-byte line but no element.
+        a = Region(1, 0, 4)
+        b = Region(1, 4, 4)
+        assert not regions_overlap(a, b, 8, 8)
+        assert regions_overlap(a, b, 8, 64)
+
+    def test_strided_columns_miss_each_other(self):
+        # Interleaved combs: columns of 2 at stride 8, offset by 4.
+        a = Region(1, 0, 2, 4, 8)
+        b = Region(1, 4, 2, 4, 8)
+        assert not regions_overlap(a, b, 8, 8)
+        assert regions_overlap(a, b, 8, 64)
+        wide = Region(1, 3, 2, 4, 8)  # shifted comb catches a's columns
+        assert not regions_overlap(a, wide, 8, 8)
+        assert regions_overlap(a, Region(1, 1, 2, 4, 8), 8, 8)
+
+
+@pytest.mark.parametrize("layout", ALL_RECURSIVE + ["LC"])
+@pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+class TestRaceFreeMatrix:
+    """Acceptance: zero races for all 3 algorithms x 5 layouts (+ LC)."""
+
+    def test_race_free(self, assert_race_free, algorithm, layout):
+        report = assert_race_free(algorithm, layout, n=24, tile=8)
+        assert report.n_events > 0
+        assert report.n_tasks > 0
+
+
+class TestRaceFreeVariants:
+    def test_standard_temps_mode(self, assert_race_free):
+        assert_race_free("standard", "LZ", n=24, tile=8, mode="temps")
+
+    def test_hybrid_and_space_saving(self, assert_race_free):
+        assert_race_free("hybrid", "LH", n=24, tile=8)
+        assert_race_free("strassen_space", "LG", n=24, tile=8)
+
+    def test_non_power_of_two_and_aliases(self, assert_race_free):
+        report = assert_race_free("winograd", "hilbert", n=20, tile=8)
+        assert report.layout == "LH"
+
+
+class TestSeededRaces:
+    """The detector demonstrably fires on deliberately planted conflicts."""
+
+    def test_parallel_overlapping_writes_fire_ww(self):
+        rt, ctx, (q11, q12, q21, q22) = seeded_context()
+        rt.spawn_all([
+            lambda: stream_add(ctx, q12, q21, q11),
+            lambda: stream_add(ctx, q12, q22, q11),  # same output: W/W race
+        ])
+        scan = find_conflicts(ctx.events, SPOracle(rt.root))
+        assert not scan.race_free
+        assert [c.access for c in scan.races] == ["W/W"]
+        assert scan.races[0].n_pairs == 1
+
+    def test_parallel_read_write_fires_wr(self):
+        rt, ctx, (q11, q12, q21, q22) = seeded_context()
+        rt.spawn_all([
+            lambda: stream_add(ctx, q12, q22, q11),  # writes q11
+            lambda: stream_add(ctx, q11, q12, q21),  # reads q11: W/R race
+        ])
+        scan = find_conflicts(ctx.events, SPOracle(rt.root))
+        assert {c.access for c in scan.races} == {"W/R"}
+
+    def test_serialized_version_is_clean(self):
+        rt, ctx, (q11, q12, q21, q22) = seeded_context()
+        stream_add(ctx, q12, q21, q11)
+        stream_add(ctx, q12, q22, q11)
+        scan = find_conflicts(ctx.events, SPOracle(rt.root))
+        assert scan.race_free
+        assert scan.n_race_pairs == 0
+
+    def test_disjoint_parallel_writes_are_clean(self):
+        rt, ctx, (q11, q12, q21, q22) = seeded_context()
+        rt.spawn_all([
+            lambda: stream_add(ctx, q12, q22, q11),
+            lambda: stream_add(ctx, q12, q22, q21),
+        ])
+        scan = find_conflicts(ctx.events, SPOracle(rt.root))
+        assert scan.race_free
+
+    def test_sanitize_driver_surfaces_seeded_race(self, monkeypatch):
+        """End to end: a buggy spawn structure fails sanitize_multiply."""
+        from repro.algorithms.dgemm import ALGORITHMS
+
+        def racy_multiply(c, a, b, ctx=None, accumulate=True, mode="accumulate"):
+            from repro.algorithms.recursion import Context, leaf_multiply
+
+            ctx = ctx or Context()
+            c11, c12, c21, c22 = c.quadrants()
+            a11, a12, a21, a22 = a.quadrants()
+            b11, b12, b21, b22 = b.quadrants()
+            # BUG: both k-products of C11 spawned in parallel.
+            ctx.rt.spawn_all([
+                lambda: leaf_multiply(ctx, c11, a11, b11, accumulate),
+                lambda: leaf_multiply(ctx, c11, a12, b21, True),
+            ])
+
+        monkeypatch.setitem(ALGORITHMS, "racy", racy_multiply)
+        report = sanitize_multiply("racy", "LZ", 8, tile=4)
+        assert not report.ok
+        assert report.n_race_pairs >= 1
+        assert report.races[0].access == "W/W"
+        assert "race" in report.details()
+
+    def test_events_without_tasks_are_rejected(self):
+        ctx = TraceContext(SerialRuntime())
+        mat = TiledMatrix.zeros("LZ", 1, 4, 4)
+        q11, q12, q21, _ = mat.root_view().quadrants()
+        stream_add(ctx, q12, q21, q11)
+        oracle = SPOracle(series(leaf(1.0)))
+        with pytest.raises(ValueError, match="task identity"):
+            find_conflicts(ctx.events, oracle)
+
+
+class TestFalseSharing:
+    def test_line_only_overlap_warns_not_errors(self):
+        rt = TraceRuntime(CostModel(spawn=0.0))
+        t1, t2 = leaf(1.0), leaf(1.0)
+        rt.root.add(parallel(t1, t2))
+        events = [
+            TraceEvent("add", Region(7, 0, 4), (), task=t1),
+            TraceEvent("add", Region(7, 4, 4), (), task=t2),
+        ]
+        scan = find_conflicts(events, SPOracle(rt.root), WIDE_LINE)
+        assert scan.race_free
+        assert scan.n_false_sharing_pairs == 1
+        assert scan.false_sharing[0].kind == "false-sharing"
+
+    def test_canonical_quadrants_false_share_recursive_do_not(self):
+        """Cross-check against memsim.coherence: the sanitizer's SP-tree
+        view and the coherence module's processor-assignment view must
+        agree on which layout false-shares at a misaligned tile size."""
+        lc = sanitize_multiply("standard", "LC", 8, tile=4, machine=WIDE_LINE)
+        lz = sanitize_multiply("standard", "LZ", 8, tile=4, machine=WIDE_LINE)
+        assert lc.ok and lz.ok  # false sharing warns, never errors
+        assert lc.n_false_sharing_pairs > 0
+        assert lz.n_false_sharing_pairs == 0
+
+        for layout, expect_sharing in (("LC", True), ("LZ", False)):
+            events, sizes = trace_multiply("standard", layout, 8, 4)
+            c_space = events[0].write.space
+            if layout == "LC":
+                owner = assign_by_output(events, 4, c_space, 8, ld=8)
+            else:
+                owner = assign_by_output(
+                    events, 4, c_space, 8, tiled_total=sizes[c_space]
+                )
+            stats = false_sharing_stats(events, owner, WIDE_LINE, sizes)
+            assert (stats.false_shared_lines > 0) == expect_sharing
+
+
+class TestBounds:
+    def test_escaping_region_is_reported(self):
+        t = leaf(1.0)
+        events = [TraceEvent("add", Region(3, 60, 8), (), task=t)]
+        problems = bounds_errors(events, {3: 64})
+        assert len(problems) == 1
+        assert "escapes buffer" in problems[0]
+
+    def test_unknown_buffer_is_reported(self):
+        t = leaf(1.0)
+        events = [TraceEvent("add", Region(3, 0, 8), (Region(4, 0, 8),), task=t)]
+        problems = bounds_errors(events, {3: 64})
+        assert len(problems) == 1
+        assert "unknown buffer" in problems[0]
+
+    def test_real_traces_are_in_bounds(self, assert_race_free):
+        report = assert_race_free("strassen", "LZ", n=24, tile=8)
+        assert report.bounds == []
+
+    def test_analyze_events_combines_scan_and_bounds(self):
+        t1, t2 = leaf(1.0), leaf(1.0)
+        root = series(t1, t2)
+        events = [
+            TraceEvent("add", Region(5, 0, 8), (), task=t1),
+            TraceEvent("add", Region(5, 4, 8), (), task=t2),
+        ]
+        scan, problems = analyze_events(events, SPOracle(root), {5: 6})
+        assert scan.race_free  # serial: overlap is fine
+        assert len(problems) == 2  # both events escape the 6-element buffer
+
+
+class TestResolveLayout:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [("hilbert", "LH"), ("LZ", "LZ"), ("lz", "LZ"), ("gray", "LG"),
+         ("morton", "LZ"), ("canonical", "LC"), ("U_MORTON", "LU")],
+    )
+    def test_aliases(self, name, expected):
+        assert resolve_layout(name) == expected
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            resolve_layout("peano")
+
+
+class TestCLI:
+    def test_sanitize_subcommand(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["sanitize", "-a", "winograd", "-l", "hilbert",
+                     "-n", "16", "--tile", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "winograd" in out and "LH" in out and "OK" in out

@@ -6,7 +6,7 @@ import pytest
 from repro.layouts.tiled import TiledLayout
 from repro.matrix.convert import to_tiled
 from repro.matrix.tile import Tiling
-from repro.matrix.tiledmatrix import DenseMatrix, DenseView, QuadView, TiledMatrix
+from repro.matrix.tiledmatrix import DenseMatrix, TiledMatrix
 from tests.conftest import ALL_RECURSIVE
 
 

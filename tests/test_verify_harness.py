@@ -1,6 +1,5 @@
 """The correctness-verification harness (paper's dgemm cross-check)."""
 
-import pytest
 
 from repro.analysis.verify import DEFAULT_SHAPES, verify_against_numpy
 from repro.matrix.tile import TileRange
