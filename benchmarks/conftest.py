@@ -37,3 +37,15 @@ def pytest_terminal_summary(terminalreporter):
         )
         if c["trace_misses"] == 0 and c["stats_misses"] == 0:
             tr.write_line("warm cache: no trace was re-expanded this run")
+    # Provenance: pin this bench run to commit/seed/cache state so its
+    # numbers (and any --benchmark-json output) can be traced back.
+    try:
+        from repro import obs
+
+        manifest = obs.build_manifest(command="benchmarks", store=store)
+        path = obs.write_manifest(
+            obs.obs_output_dir() / "manifests" / "benchmarks.json", manifest
+        )
+        tr.write_line(f"provenance manifest: {path}")
+    except OSError:
+        pass  # never fail a bench run over provenance bookkeeping

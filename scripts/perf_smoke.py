@@ -37,7 +37,8 @@ from repro.memsim.cache import LRUCache, simulate_direct_mapped
 from repro.memsim.engines import lru_hit_mask, simulate_set_associative
 from repro.memsim.hierarchy import simulate_hierarchy
 from repro.memsim.machine import CacheGeometry, modern_like, ultrasparc_like
-from repro.memsim.trace import expand_trace, trace_multiply
+from repro.memsim.store import cached_multiply_trace, default_store
+from repro.obs.manifest import build_manifest
 
 N = 256
 TILE = 16
@@ -76,10 +77,19 @@ def main() -> None:
     mach = ultrasparc_like()
     modern = modern_like()
 
+    # Expand the real trace through the content-addressed store: the
+    # counters below make cache behaviour visible (a keying regression
+    # that silently re-simulates everything shows up as misses on a
+    # warm store).
+    store = default_store()
+    store.reset_counters()
     t0 = time.perf_counter()
-    events, sizes = trace_multiply("standard", "LZ", N, TILE)
-    addresses = expand_trace(events, mach, sizes)
+    addresses = cached_multiply_trace("standard", "LZ", N, TILE, mach, store=store)
     expand_seconds = time.perf_counter() - t0
+    cold_counters = store.counters()
+    t0 = time.perf_counter()
+    cached_multiply_trace("standard", "LZ", N, TILE, mach, store=store)
+    warm_seconds = time.perf_counter() - t0
     if addresses.size < TARGET:
         addresses = np.tile(addresses, -(-TARGET // addresses.size))
     addresses = addresses[:TARGET]
@@ -93,9 +103,21 @@ def main() -> None:
             "tile": TILE,
             "accesses": n,
             "expand_seconds": round(expand_seconds, 3),
+            "warm_expand_seconds": round(warm_seconds, 4),
+        },
+        "trace_cache": {
+            "enabled": store.enabled,
+            "first_call_was_hit": cold_counters["trace_hits"] > 0,
+            **store.counters(),
         },
         "engines": {},
     }
+    c = store.counters()
+    print(
+        f"trace cache ({'on' if store.enabled else 'off'}): "
+        f"{c['trace_hits']} hit / {c['trace_misses']} miss; "
+        f"cold expand {expand_seconds:.3f}s, warm {warm_seconds:.4f}s"
+    )
 
     def record(name, engine_seconds, ref_seconds=None):
         entry = {
@@ -178,6 +200,10 @@ def main() -> None:
             )
         print(f"speedup floor {floor}x: OK")
 
+    results["trace_cache"].update(store.counters())
+    results["provenance"] = build_manifest(
+        command="perf_smoke", store=store, machine=mach
+    )
     with open(out_path, "w") as fh:
         json.dump(results, fh, indent=2)
         fh.write("\n")

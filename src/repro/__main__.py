@@ -17,6 +17,12 @@ Examples::
     python -m repro scaling --algorithm strassen --n 192
     python -m repro sharing --n 61 100 129
     python -m repro gemm --m 300 --k 200 --n 250 --algorithm hybrid
+    python -m repro trace --algorithm strassen --workers 4
+    python -m repro report --run fig2 --order 2
+
+Every run drops a provenance manifest (git SHA, seed, machine
+fingerprint, trace-cache content addresses) under
+``.benchmarks/obs/manifests/`` — see docs/MODELING.md "Observability".
 """
 
 from __future__ import annotations
@@ -26,6 +32,7 @@ import sys
 
 import numpy as np
 
+from repro import obs
 from repro.analysis import (
     ascii_plot,
     conversion_accounting,
@@ -265,6 +272,67 @@ def _cmd_gemm(args) -> None:
               f"p_k={r.partition.p_k} p_n={r.partition.p_n}")
 
 
+def _cmd_trace(args) -> None:
+    from repro.analysis.experiments import record_task_dag
+    from repro.obs.perfetto import schedule_to_chrome_trace, write_chrome_trace
+    from repro.runtime.scheduler import greedy_makespan, work_stealing_makespan
+    from repro.runtime.task import span as sp_span
+    from repro.runtime.task import work as sp_work
+
+    dag, root = record_task_dag(args.algorithm, args.n)
+    if args.scheduler == "greedy":
+        res = greedy_makespan(dag, args.workers, record_timeline=True)
+    else:
+        res = work_stealing_makespan(
+            dag, args.workers, steal_cost=args.steal_cost, seed=args.seed,
+            record_timeline=True,
+        )
+    res.publish(f"scheduler.{args.scheduler}")
+    trace = schedule_to_chrome_trace(
+        res,
+        title=f"{args.algorithm} n={args.n} {args.scheduler} p={args.workers}",
+    )
+    out = args.out or (
+        obs.obs_output_dir()
+        / f"schedule_{args.algorithm}_n{args.n}_{args.scheduler}_p{args.workers}.json"
+    )
+    path = write_chrome_trace(out, trace)
+    t1, tinf = sp_work(root), sp_span(root)
+    print(f"{args.algorithm} n={args.n}: {len(dag)} tasks, "
+          f"T1={t1:.0f} Tinf={tinf:.0f} cycles")
+    print(f"{args.scheduler} on {args.workers} workers: "
+          f"makespan={res.makespan:.0f} cycles, speedup {t1 / res.makespan:.2f}x, "
+          f"utilization {res.utilization:.1%}, "
+          f"steals {res.steals} ok / {res.failed_steals} failed")
+    print(f"wrote {path} ({len(trace['traceEvents'])} events; "
+          f"load it at https://ui.perfetto.dev or chrome://tracing)")
+
+
+def _cmd_report(args) -> None:
+    from repro.memsim.store import default_store
+
+    obs.set_enabled(True)
+    if args.fresh:
+        obs.reset()
+        default_store().reset_counters()
+    # Default workload touches the trace cache, so a bare `report` still
+    # demonstrates nonzero cache and span counters.
+    run = list(args.run) if args.run else ["fig6sim", "--n", "48", "--tile", "8"]
+    if run[0] in ("report", "trace"):
+        raise SystemExit("report --run cannot nest obs subcommands")
+    sub = build_parser().parse_args(run)
+    sub.fn(sub)
+    print()
+    print(obs.render_report())
+    out_dir = obs.obs_output_dir()
+    trace_path = obs.collector().export_jsonl(out_dir / "spans.jsonl")
+    manifest = obs.build_manifest(command="report", extra={"run": run})
+    manifest_path = obs.write_manifest(out_dir / "manifests" / "report.json", manifest)
+    print()
+    print(f"spans:    {trace_path}")
+    print(f"manifest: {manifest_path}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     p = argparse.ArgumentParser(
@@ -356,6 +424,32 @@ def build_parser() -> argparse.ArgumentParser:
                    help="sweep all three algorithms over all layouts")
     s.set_defaults(fn=_cmd_sanitize)
 
+    s = sub.add_parser(
+        "trace",
+        help="export a simulated schedule as Chrome-trace/Perfetto JSON",
+    )
+    s.add_argument("--algorithm", "-a", default="strassen")
+    s.add_argument("-n", "--n", type=int, default=96)
+    s.add_argument("--workers", "-w", type=int, default=4)
+    s.add_argument("--scheduler", choices=("ws", "greedy"), default="ws",
+                   help="work stealing (default) or greedy list scheduling")
+    s.add_argument("--steal-cost", type=float, default=100.0)
+    s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--out", default=None,
+                   help="output path (default: .benchmarks/obs/schedule_*.json)")
+    s.set_defaults(fn=_cmd_trace)
+
+    s = sub.add_parser(
+        "report",
+        help="enable obs, optionally run one subcommand, dump spans + metrics",
+    )
+    s.add_argument("--run", nargs=argparse.REMAINDER, default=None,
+                   help="subcommand (+args) to run with obs enabled, e.g. "
+                        "--run fig2 --order 2 (default: a small fig6sim)")
+    s.add_argument("--no-fresh", dest="fresh", action="store_false",
+                   help="keep previously recorded spans/metrics/counters")
+    s.set_defaults(fn=_cmd_report, fresh=True)
+
     s = sub.add_parser("gemm", help="run one dgemm and show its cost breakdown")
     s.add_argument("--m", type=int, default=300)
     s.add_argument("--k", type=int, default=200)
@@ -368,10 +462,27 @@ def build_parser() -> argparse.ArgumentParser:
     return p
 
 
+def _write_run_manifest(args, argv: list[str] | None) -> None:
+    """Best-effort provenance manifest for the subcommand that just ran."""
+    try:
+        manifest = obs.build_manifest(
+            command=args.command,
+            argv=argv,
+            seed=getattr(args, "seed", None),
+        )
+        obs.write_manifest(
+            obs.obs_output_dir() / "manifests" / f"{args.command}.json", manifest
+        )
+    except OSError:
+        pass  # read-only checkout etc. — provenance must never fail a run
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
     args.fn(args)
+    if args.command not in ("report",):  # report writes its own manifest
+        _write_run_manifest(args, argv)
     return 0
 
 

@@ -12,6 +12,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.algorithms.dgemm import dgemm
 from repro.algorithms.locality import footprint_counts
 from repro.analysis.timing import measure
@@ -41,37 +42,42 @@ __all__ = [
     "conversion_accounting",
     "slowdown_vs_native",
     "false_sharing_table",
+    "record_task_dag",
 ]
 
 
 def fig1_locality(n: int = 8) -> list[dict]:
     """E1 / Figure 1: footprint statistics of the three algorithms."""
     rows = []
-    for algo in ("standard", "strassen", "winograd"):
-        counts = footprint_counts(algo, n)
-        for which in ("A", "B"):
-            c = counts[which]
-            amax = np.unravel_index(int(c.argmax()), c.shape)
-            rows.append(
-                {
-                    "algorithm": algo,
-                    "input": which,
-                    "min": int(c.min()),
-                    "mean": float(c.mean()),
-                    "max": int(c.max()),
-                    "argmax": (int(amax[0]), int(amax[1])),
-                    "diag_mean": float(np.diag(c).mean()),
-                }
-            )
+    with obs.span("fig1", n=n):
+        for algo in ("standard", "strassen", "winograd"):
+            with obs.span("fig1.point", algorithm=algo, n=n):
+                counts = footprint_counts(algo, n)
+                for which in ("A", "B"):
+                    c = counts[which]
+                    amax = np.unravel_index(int(c.argmax()), c.shape)
+                    rows.append(
+                        {
+                            "algorithm": algo,
+                            "input": which,
+                            "min": int(c.min()),
+                            "mean": float(c.mean()),
+                            "max": int(c.max()),
+                            "argmax": (int(amax[0]), int(amax[1])),
+                            "diag_mean": float(np.diag(c).mean()),
+                        }
+                    )
     return rows
 
 
 def fig2_layouts(order: int = 3) -> list[dict]:
     """E2 / Figure 2: dilation statistics of the seven layout functions."""
     rows = []
-    for name in ("LR", "LC") + tuple(l for l in PAPER_LAYOUTS if l != "LC"):
-        prof = dilation_profile(name, order)
-        rows.append({"layout": name, "order": order, **prof})
+    with obs.span("fig2", order=order):
+        for name in ("LR", "LC") + tuple(l for l in PAPER_LAYOUTS if l != "LC"):
+            with obs.span("fig2.point", layout=name, order=order):
+                prof = dilation_profile(name, order)
+            rows.append({"layout": name, "order": order, **prof})
     return rows
 
 
@@ -99,25 +105,28 @@ def fig4_tile_size_sweep(
     a = rng.standard_normal((n, n))
     b = rng.standard_normal((n, n))
     rows = []
-    for t in tiles:
-        res = dgemm(a, b, tile=t, algorithm=algorithm, layout=layout)
-        meas = measure(
-            lambda: dgemm(a, b, tile=t, algorithm=algorithm, layout=layout),
-            repeats=repeats,
-            warmup=0,
-        )
-        row = {
-            "n": n,
-            "tile": t,
-            "seconds": meas.median,
-            "conversion_fraction": res.conversion_fraction,
-        }
-        if include_memsim:
-            stats = cached_multiply_stats(algorithm, layout, n, t, machine)
-            row["sim_cycles"] = stats.cycles
-            row["sim_cycles_per_flop"] = stats.cycles / (2 * n**3)
-            row["l1_miss_rate"] = stats.l1_miss_rate
-        rows.append(row)
+    with obs.span("fig4", n=n, algorithm=algorithm, layout=layout, repeats=repeats):
+        for t in tiles:
+            with obs.span("fig4.point", n=n, tile=t, algorithm=algorithm,
+                          layout=layout):
+                res = dgemm(a, b, tile=t, algorithm=algorithm, layout=layout)
+                meas = measure(
+                    lambda: dgemm(a, b, tile=t, algorithm=algorithm, layout=layout),
+                    repeats=repeats,
+                    warmup=0,
+                )
+                row = {
+                    "n": n,
+                    "tile": t,
+                    "seconds": meas.median,
+                    "conversion_fraction": res.conversion_fraction,
+                }
+                if include_memsim:
+                    stats = cached_multiply_stats(algorithm, layout, n, t, machine)
+                    row["sim_cycles"] = stats.cycles
+                    row["sim_cycles_per_flop"] = stats.cycles / (2 * n**3)
+                    row["l1_miss_rate"] = stats.l1_miss_rate
+                rows.append(row)
     return rows
 
 
@@ -142,27 +151,35 @@ def fig5_robustness(
     # would step the leaf size and mask the per-n memory effects.
     depth = max(0, (min(n_values) // tile).bit_length() - 1)
     rows = []
-    for n in n_values:
-        flops = 2.0 * n**3
-        # standard / LC: canonical storage with leading dimension n.
-        lc_std = cached_synthetic_stats("dense_standard", machine, n=n, tile=tile)
-        # standard / LZ: real recursive-layout execution (padded).
-        lz_std = cached_multiply_stats("standard", "LZ", n, tile, machine, depth=depth)
-        # strassen / LC: synthetic ld=n trace with contiguous temporaries.
-        lc_str = cached_synthetic_stats(
-            "dense_strassen", machine, n=n, tile=tile, depth=depth
-        )
-        # strassen / LZ: real recursive-layout execution.
-        lz_str = cached_multiply_stats("strassen", "LZ", n, tile, machine, depth=depth)
-        rows.append(
-            {
-                "n": n,
-                "standard_LC": lc_std.cycles / flops,
-                "standard_LZ": lz_std.cycles / flops,
-                "strassen_LC": lc_str.cycles / flops,
-                "strassen_LZ": lz_str.cycles / flops,
-            }
-        )
+    with obs.span("fig5", tile=tile, points=len(list(n_values))):
+        for n in n_values:
+            with obs.span("fig5.point", n=n, tile=tile):
+                flops = 2.0 * n**3
+                # standard / LC: canonical storage with leading dimension n.
+                lc_std = cached_synthetic_stats(
+                    "dense_standard", machine, n=n, tile=tile
+                )
+                # standard / LZ: real recursive-layout execution (padded).
+                lz_std = cached_multiply_stats(
+                    "standard", "LZ", n, tile, machine, depth=depth
+                )
+                # strassen / LC: synthetic ld=n trace with contiguous temporaries.
+                lc_str = cached_synthetic_stats(
+                    "dense_strassen", machine, n=n, tile=tile, depth=depth
+                )
+                # strassen / LZ: real recursive-layout execution.
+                lz_str = cached_multiply_stats(
+                    "strassen", "LZ", n, tile, machine, depth=depth
+                )
+                rows.append(
+                    {
+                        "n": n,
+                        "standard_LC": lc_std.cycles / flops,
+                        "standard_LZ": lz_std.cycles / flops,
+                        "strassen_LC": lc_str.cycles / flops,
+                        "strassen_LZ": lz_str.cycles / flops,
+                    }
+                )
     return rows
 
 
@@ -189,21 +206,27 @@ def fig6_layout_comparison(
     a = rng.standard_normal((n, n))
     b = rng.standard_normal((n, n))
     rows = []
-    for algo in algorithms:
-        for lay in layouts:
-            meas = measure(
-                lambda: dgemm(a, b, algorithm=algo, layout=lay, trange=trange),
-                repeats=repeats,
-                warmup=1,
-            )
-            row = {"algorithm": algo, "layout": lay, "n": n, "p1_seconds": meas.median}
-            if len([p for p in procs if p > 1]):
-                speedups = simulated_speedups(algo, n, trange=trange, procs=procs)
-                for p in procs:
-                    if p == 1:
-                        continue
-                    row[f"p{p}_seconds"] = meas.median / speedups[p]
-            rows.append(row)
+    with obs.span("fig6", n=n, repeats=repeats):
+        for algo in algorithms:
+            for lay in layouts:
+                with obs.span("fig6.point", algorithm=algo, layout=lay, n=n):
+                    meas = measure(
+                        lambda: dgemm(a, b, algorithm=algo, layout=lay,
+                                      trange=trange),
+                        repeats=repeats,
+                        warmup=1,
+                    )
+                    row = {"algorithm": algo, "layout": lay, "n": n,
+                           "p1_seconds": meas.median}
+                    if len([p for p in procs if p > 1]):
+                        speedups = simulated_speedups(
+                            algo, n, trange=trange, procs=procs
+                        )
+                        for p in procs:
+                            if p == 1:
+                                continue
+                            row[f"p{p}_seconds"] = meas.median / speedups[p]
+                    rows.append(row)
     return rows
 
 
@@ -226,24 +249,66 @@ def fig6_simulated(
     """
     machine = machine or ultrasparc_like()
     rows = []
-    for algo in algorithms:
-        flops = None
-        per_layout = {}
-        for lay in layouts:
-            st = cached_multiply_stats(algo, lay, n, tile, machine)
-            per_layout[lay] = st.cycles
-            flops = 2.0 * n**3
-        for lay in layouts:
-            rows.append(
-                {
-                    "algorithm": algo,
-                    "layout": lay,
-                    "n": n,
-                    "sim_cycles_per_flop": per_layout[lay] / flops,
-                    "vs_LC": per_layout[lay] / per_layout.get("LC", per_layout[lay]),
-                }
-            )
+    with obs.span("fig6sim", n=n, tile=tile):
+        for algo in algorithms:
+            flops = None
+            per_layout = {}
+            for lay in layouts:
+                with obs.span("fig6sim.point", algorithm=algo, layout=lay, n=n):
+                    st = cached_multiply_stats(algo, lay, n, tile, machine)
+                per_layout[lay] = st.cycles
+                flops = 2.0 * n**3
+            for lay in layouts:
+                rows.append(
+                    {
+                        "algorithm": algo,
+                        "layout": lay,
+                        "n": n,
+                        "sim_cycles_per_flop": per_layout[lay] / flops,
+                        "vs_LC": per_layout[lay]
+                        / per_layout.get("LC", per_layout[lay]),
+                    }
+                )
     return rows
+
+
+def record_task_dag(
+    algorithm: str,
+    n: int,
+    trange: TileRange | None = None,
+    cost_model: CostModel | None = None,
+):
+    """Execute one n x n multiply under :class:`TraceRuntime` and lower
+    the recorded SP tree to a precedence DAG.
+
+    Returns ``(dag, root)`` — the :class:`DagNode` list the scheduler
+    simulations consume plus the SP-tree root for work/span queries.
+    Shared by the scaling/speedup drivers and ``python -m repro trace``.
+    """
+    from repro.matrix.tile import select_matmul_tiling
+    from repro.matrix.tiledmatrix import TiledMatrix
+    from repro.algorithms.dgemm import ALGORITHMS
+    from repro.algorithms.recursion import Context
+
+    trange = trange or TileRange()
+    tiling = select_matmul_tiling(n, n, n, trange)
+    with obs.span("record_task_dag", algorithm=algorithm, n=n):
+        rt = TraceRuntime(cost_model or CostModel())
+        ctx = Context(rt)
+        mats = [
+            TiledMatrix.zeros("LZ", tiling.d, tr, tc, n, n)
+            for tr, tc in [
+                (tiling.t_m, tiling.t_n),
+                (tiling.t_m, tiling.t_k),
+                (tiling.t_k, tiling.t_n),
+            ]
+        ]
+        c, a, b = mats
+        ALGORITHMS[algorithm](c.root_view(), a.root_view(), b.root_view(), ctx)
+        dag = to_dag(rt.root)
+    obs.add("scheduler.dags_recorded")
+    obs.observe("scheduler.dag_tasks", len(dag))
+    return dag, rt.root
 
 
 def simulated_speedups(
@@ -255,33 +320,16 @@ def simulated_speedups(
     steal_cost: float = 100.0,
 ) -> dict[int, float]:
     """Work-stealing speedups from the recorded task DAG of one multiply."""
-    from repro.matrix.tile import select_matmul_tiling
-    from repro.matrix.tiledmatrix import TiledMatrix
-    from repro.algorithms.dgemm import ALGORITHMS
-    from repro.algorithms.recursion import Context
-
-    trange = trange or TileRange()
-    tiling = select_matmul_tiling(n, n, n, trange)
-    rt = TraceRuntime(cost_model or CostModel())
-    ctx = Context(rt)
-    mats = [
-        TiledMatrix.zeros("LZ", tiling.d, tr, tc, n, n)
-        for tr, tc in [
-            (tiling.t_m, tiling.t_n),
-            (tiling.t_m, tiling.t_k),
-            (tiling.t_k, tiling.t_n),
-        ]
-    ]
-    c, a, b = mats
-    ALGORITHMS[algorithm](c.root_view(), a.root_view(), b.root_view(), ctx)
-    dag = to_dag(rt.root)
-    t1 = sp_work(rt.root)
+    dag, root = record_task_dag(algorithm, n, trange=trange, cost_model=cost_model)
+    t1 = sp_work(root)
     out = {}
     for p in procs:
         if p == 1:
             out[1] = 1.0
             continue
-        res = work_stealing_makespan(dag, p, steal_cost=steal_cost)
+        with obs.span("schedule.ws", algorithm=algorithm, n=n, procs=p):
+            res = work_stealing_makespan(dag, p, steal_cost=steal_cost)
+        res.publish("scheduler.ws")
         out[p] = t1 / res.makespan
     return out
 
@@ -306,26 +354,28 @@ def fig7_kernel_tiers(
     b = rng.standard_normal((n, n))
     rows = []
     base = None
-    for kernel in ("blas", "sixloop", "unrolled"):
-        reps = repeats if kernel != "unrolled" else 1
-        meas = measure(
-            lambda: dgemm(a, b, tile=tile, algorithm=algorithm, layout=layout,
-                          kernel=kernel),
-            repeats=reps,
-            # Warm caches/permutations for the fast tiers so cold-start
-            # noise cannot reorder them; skip for the very slow tier.
-            warmup=1 if kernel != "unrolled" else 0,
-        )
-        if base is None:
-            base = meas.median
-        rows.append(
-            {
-                "kernel": kernel,
-                "n": n,
-                "seconds": meas.median,
-                "factor_vs_blas": meas.median / base,
-            }
-        )
+    with obs.span("fig7", n=n, tile=tile):
+        for kernel in ("blas", "sixloop", "unrolled"):
+            reps = repeats if kernel != "unrolled" else 1
+            with obs.span("fig7.point", kernel=kernel, n=n):
+                meas = measure(
+                    lambda: dgemm(a, b, tile=tile, algorithm=algorithm,
+                                  layout=layout, kernel=kernel),
+                    repeats=reps,
+                    # Warm caches/permutations for the fast tiers so cold-start
+                    # noise cannot reorder them; skip for the very slow tier.
+                    warmup=1 if kernel != "unrolled" else 0,
+                )
+            if base is None:
+                base = meas.median
+            rows.append(
+                {
+                    "kernel": kernel,
+                    "n": n,
+                    "seconds": meas.median,
+                    "factor_vs_blas": meas.median / base,
+                }
+            )
     return rows
 
 
@@ -338,7 +388,8 @@ def critical_path_table(
     cm = cost_model or CostModel()
     rows = []
     for algo in ("standard", "standard_temps", "strassen", "winograd"):
-        ws = work_span(algo, n, tile, cm)
+        with obs.span("critical.point", algorithm=algo, n=n, tile=tile):
+            ws = work_span(algo, n, tile, cm)
         rows.append(
             {
                 "algorithm": algo,
@@ -361,39 +412,29 @@ def scaling_table(
     trange: TileRange | None = None,
 ) -> list[dict]:
     """E10: simulated work-stealing scaling, with the greedy bound."""
-    from repro.matrix.tile import select_matmul_tiling
-    from repro.matrix.tiledmatrix import TiledMatrix
-    from repro.algorithms.dgemm import ALGORITHMS
-    from repro.algorithms.recursion import Context
-
-    trange = trange or TileRange()
-    tiling = select_matmul_tiling(n, n, n, trange)
-    rt = TraceRuntime(CostModel())
-    ctx = Context(rt)
-    c = TiledMatrix.zeros("LZ", tiling.d, tiling.t_m, tiling.t_n, n, n)
-    a = TiledMatrix.zeros("LZ", tiling.d, tiling.t_m, tiling.t_k, n, n)
-    b = TiledMatrix.zeros("LZ", tiling.d, tiling.t_k, tiling.t_n, n, n)
-    ALGORITHMS[algorithm](c.root_view(), a.root_view(), b.root_view(), ctx)
-    dag = to_dag(rt.root)
-    t1 = sp_work(rt.root)
-    tinf = sp_span(rt.root)
+    dag, root = record_task_dag(algorithm, n, trange=trange)
+    t1 = sp_work(root)
+    tinf = sp_span(root)
     rows = []
-    for p in procs:
-        greedy = greedy_makespan(dag, p)
-        ws = work_stealing_makespan(dag, p) if p > 1 else greedy
-        rows.append(
-            {
-                "algorithm": algorithm,
-                "n": n,
-                "procs": p,
-                "T1": t1,
-                "Tinf": tinf,
-                "greedy_speedup": t1 / greedy.makespan,
-                "ws_speedup": t1 / ws.makespan,
-                "utilization": ws.utilization,
-                "steals": ws.steals,
-            }
-        )
+    with obs.span("scaling", algorithm=algorithm, n=n):
+        for p in procs:
+            with obs.span("scaling.point", algorithm=algorithm, n=n, procs=p):
+                greedy = greedy_makespan(dag, p)
+                ws = work_stealing_makespan(dag, p) if p > 1 else greedy
+                ws.publish("scheduler.ws" if p > 1 else "scheduler.greedy")
+                rows.append(
+                    {
+                        "algorithm": algorithm,
+                        "n": n,
+                        "procs": p,
+                        "T1": t1,
+                        "Tinf": tinf,
+                        "greedy_speedup": t1 / greedy.makespan,
+                        "ws_speedup": t1 / ws.makespan,
+                        "utilization": ws.utilization,
+                        "steals": ws.steals,
+                    }
+                )
     return rows
 
 
@@ -408,7 +449,8 @@ def conversion_accounting(
     for n in n_values:
         a = rng.standard_normal((n, n))
         b = rng.standard_normal((n, n))
-        res = dgemm(a, b, algorithm=algorithm, layout=layout)
+        with obs.span("conversion.point", n=n, algorithm=algorithm, layout=layout):
+            res = dgemm(a, b, algorithm=algorithm, layout=layout)
         rows.append(
             {
                 "n": n,
@@ -438,12 +480,13 @@ def slowdown_vs_native(
     rng = np.random.default_rng(8)
     a = rng.standard_normal((n, n))
     b = rng.standard_normal((n, n))
-    ours = measure(
-        lambda: dgemm(a, b, tile=tile, algorithm=algorithm, layout=layout),
-        repeats=repeats,
-        warmup=1,
-    )
-    native = measure(lambda: a @ b, repeats=repeats, warmup=1)
+    with obs.span("slowdown_vs_native", n=n, tile=tile, algorithm=algorithm):
+        ours = measure(
+            lambda: dgemm(a, b, tile=tile, algorithm=algorithm, layout=layout),
+            repeats=repeats,
+            warmup=1,
+        )
+        native = measure(lambda: a @ b, repeats=repeats, warmup=1)
     return {
         "n": n,
         "tile": tile,
@@ -463,15 +506,16 @@ def false_sharing_table(
     machine = machine or ultrasparc_like()
     rows = []
     for n in n_values:
-        ev = dense_standard_events(n, tile)
-        owner = assign_by_output(ev, procs, 3, n, ld=n)
-        lc = false_sharing_stats(ev, owner, machine)
-        ev, sizes = trace_multiply("standard", "LZ", n, tile)
-        c_space = ev[0].write.space
-        owner = assign_by_output(
-            ev, procs, c_space, n, tiled_total=sizes[c_space]
-        )
-        lz = false_sharing_stats(ev, owner, machine, sizes)
+        with obs.span("sharing.point", n=n, tile=tile, procs=procs):
+            ev = dense_standard_events(n, tile)
+            owner = assign_by_output(ev, procs, 3, n, ld=n)
+            lc = false_sharing_stats(ev, owner, machine)
+            ev, sizes = trace_multiply("standard", "LZ", n, tile)
+            c_space = ev[0].write.space
+            owner = assign_by_output(
+                ev, procs, c_space, n, tiled_total=sizes[c_space]
+            )
+            lz = false_sharing_stats(ev, owner, machine, sizes)
         rows.append(
             {
                 "n": n,

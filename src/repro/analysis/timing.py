@@ -3,6 +3,15 @@
 The paper "took multiple measurements of every data point to further
 reduce measurement uncertainty"; we do the same: median of ``repeats``
 runs, with a warm-up call to populate caches and lazy allocations.
+
+All timings use :func:`time.perf_counter` exclusively (monotonic,
+highest available resolution — never wall-clock ``time.time`` whose
+steps/adjustments corrupt short intervals).  :class:`Measurement`
+keeps every sample plus the repeat count, so consumers report
+min/median-of-N rather than a single draw; each call also logs its
+repeat count and median through the obs metrics registry
+(``timing.*``), making the measurement protocol itself auditable in
+``python -m repro report``.
 """
 
 from __future__ import annotations
@@ -11,6 +20,8 @@ import dataclasses
 import statistics
 import time
 from typing import Callable
+
+from repro import obs
 
 __all__ = ["Measurement", "measure"]
 
@@ -23,6 +34,8 @@ class Measurement:
     best: float
     worst: float
     repeats: int
+    #: Every individual sample, in run order (len == repeats).
+    samples: tuple[float, ...] = ()
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"{self.median:.4f}s (min {self.best:.4f}, n={self.repeats})"
@@ -39,9 +52,13 @@ def measure(fn: Callable[[], object], repeats: int = 3, warmup: int = 1) -> Meas
         t0 = time.perf_counter()
         fn()
         times.append(time.perf_counter() - t0)
+    obs.add("timing.measure_calls")
+    obs.observe("timing.repeats", repeats)
+    obs.observe("timing.median_seconds", statistics.median(times))
     return Measurement(
         median=statistics.median(times),
         best=min(times),
         worst=max(times),
         repeats=repeats,
+        samples=tuple(times),
     )

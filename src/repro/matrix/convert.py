@@ -22,6 +22,7 @@ import time
 
 import numpy as np
 
+from repro import obs
 from repro.layouts.registry import get_recursive_layout
 from repro.layouts.tiled import TiledLayout
 from repro.matrix.tile import Tiling
@@ -45,6 +46,9 @@ class ConversionStats:
         self.bytes += elements * itemsize
         self.seconds += seconds
         self.count += 1
+        obs.add("convert.count")
+        obs.add("convert.elements", elements)
+        obs.observe("convert.seconds", seconds)
 
 
 def _padded_dense(
@@ -83,45 +87,53 @@ def to_tiled(
     again amenable to parallel execution".
     """
     t0 = time.perf_counter()
-    dtype = dtype or a.dtype
-    layout = TiledLayout(get_recursive_layout(curve), tiling.d, tiling.t_r, tiling.t_c)
-    padded = _padded_dense(a, tiling, transpose, dtype)
-    if method == "gather" and rt is not None:
-        perm = layout.element_permutation()
-        flat = padded.ravel(order="F")
-        buf = np.empty(layout.n_elements, dtype=dtype)
-        n_chunks = 4
-        bounds = np.linspace(0, perm.size, n_chunks + 1, dtype=np.int64)
+    with obs.span(
+        "convert.to_tiled", curve=str(curve), method=method,
+        parallel=rt is not None, m=tiling.m, n=tiling.n,
+    ):
+        dtype = dtype or a.dtype
+        layout = TiledLayout(
+            get_recursive_layout(curve), tiling.d, tiling.t_r, tiling.t_c
+        )
+        padded = _padded_dense(a, tiling, transpose, dtype)
+        if method == "gather" and rt is not None:
+            perm = layout.element_permutation()
+            flat = padded.ravel(order="F")
+            buf = np.empty(layout.n_elements, dtype=dtype)
+            n_chunks = 4
+            bounds = np.linspace(0, perm.size, n_chunks + 1, dtype=np.int64)
 
-        def chunk(lo, hi):
-            def run():
-                buf[lo:hi] = flat[perm[lo:hi]]
-                rt.task_stream(int(hi - lo))
+            def chunk(lo, hi):
+                def run():
+                    buf[lo:hi] = flat[perm[lo:hi]]
+                    rt.task_stream(int(hi - lo))
 
-            return run
+                return run
 
-        rt.spawn_all([chunk(lo, hi) for lo, hi in zip(bounds, bounds[1:])])
-    elif method == "gather":
-        buf = padded.ravel(order="F")[layout.element_permutation()]
-    elif method == "tiles":
-        buf = np.empty(layout.n_elements, dtype=dtype)
-        tsize = layout.tile_size
-        side = layout.grid_side
-        order = layout.curve.tile_order(layout.d)
-        for ti in range(side):
-            for tj in range(side):
-                base = int(order[ti, tj]) * tsize
-                tile = padded[
-                    ti * layout.t_r : (ti + 1) * layout.t_r,
-                    tj * layout.t_c : (tj + 1) * layout.t_c,
-                ]
-                buf[base : base + tsize] = tile.ravel(order="F")
-    else:
-        raise ValueError(f"unknown conversion method {method!r}")
-    out = TiledMatrix(layout, buf, tiling.m, tiling.n)
-    if stats is not None:
-        stats.record(layout.n_elements, out.dtype.itemsize, time.perf_counter() - t0)
-    return out
+            rt.spawn_all([chunk(lo, hi) for lo, hi in zip(bounds, bounds[1:])])
+        elif method == "gather":
+            buf = padded.ravel(order="F")[layout.element_permutation()]
+        elif method == "tiles":
+            buf = np.empty(layout.n_elements, dtype=dtype)
+            tsize = layout.tile_size
+            side = layout.grid_side
+            order = layout.curve.tile_order(layout.d)
+            for ti in range(side):
+                for tj in range(side):
+                    base = int(order[ti, tj]) * tsize
+                    tile = padded[
+                        ti * layout.t_r : (ti + 1) * layout.t_r,
+                        tj * layout.t_c : (tj + 1) * layout.t_c,
+                    ]
+                    buf[base : base + tsize] = tile.ravel(order="F")
+        else:
+            raise ValueError(f"unknown conversion method {method!r}")
+        out = TiledMatrix(layout, buf, tiling.m, tiling.n)
+        if stats is not None:
+            stats.record(
+                layout.n_elements, out.dtype.itemsize, time.perf_counter() - t0
+            )
+        return out
 
 
 def from_tiled(
@@ -130,14 +142,15 @@ def from_tiled(
 ) -> np.ndarray:
     """Convert back to a dense column-major ``m x n`` array (pad stripped)."""
     t0 = time.perf_counter()
-    layout = tm.layout
-    flat = np.empty(layout.n_elements, dtype=tm.dtype)
-    flat[layout.element_permutation()] = tm.buf
-    dense = flat.reshape(layout.rows, layout.cols, order="F")
-    out = np.asfortranarray(dense[: tm.m, : tm.n])
-    if stats is not None:
-        stats.record(layout.n_elements, tm.dtype.itemsize, time.perf_counter() - t0)
-    return out
+    with obs.span("convert.from_tiled", m=tm.m, n=tm.n):
+        layout = tm.layout
+        flat = np.empty(layout.n_elements, dtype=tm.dtype)
+        flat[layout.element_permutation()] = tm.buf
+        dense = flat.reshape(layout.rows, layout.cols, order="F")
+        out = np.asfortranarray(dense[: tm.m, : tm.n])
+        if stats is not None:
+            stats.record(layout.n_elements, tm.dtype.itemsize, time.perf_counter() - t0)
+        return out
 
 
 def to_dense_padded(
@@ -154,11 +167,12 @@ def to_dense_padded(
     so its cost is charged through the same accounting for fairness.
     """
     t0 = time.perf_counter()
-    dtype = dtype or a.dtype
-    padded = _padded_dense(a, tiling, transpose, dtype)
-    if order == "C":
-        padded = np.ascontiguousarray(padded)
-    out = DenseMatrix(padded, tiling.m, tiling.n, tiling.t_r, tiling.t_c)
-    if stats is not None:
-        stats.record(padded.size, out.dtype.itemsize, time.perf_counter() - t0)
-    return out
+    with obs.span("convert.to_dense_padded", m=tiling.m, n=tiling.n, order=order):
+        dtype = dtype or a.dtype
+        padded = _padded_dense(a, tiling, transpose, dtype)
+        if order == "C":
+            padded = np.ascontiguousarray(padded)
+        out = DenseMatrix(padded, tiling.m, tiling.n, tiling.t_r, tiling.t_c)
+        if stats is not None:
+            stats.record(padded.size, out.dtype.itemsize, time.perf_counter() - t0)
+        return out

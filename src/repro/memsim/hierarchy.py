@@ -27,9 +27,11 @@ Two entry points:
 from __future__ import annotations
 
 import dataclasses
+import time
 
 import numpy as np
 
+from repro import obs
 from repro.memsim.cache import simulate_direct_mapped
 from repro.memsim.engines import (
     lru_hit_mask,
@@ -73,6 +75,16 @@ class MemoryStats:
         """Cycles per access — the headline cost figure."""
         return self.cycles / self.accesses if self.accesses else 0.0
 
+    def publish(self, prefix: str = "memsim") -> None:
+        """Publish this simulation into the obs metrics registry (gated)."""
+        obs.add(f"{prefix}.simulations")
+        obs.add(f"{prefix}.accesses", self.accesses)
+        obs.add(f"{prefix}.l1_misses", self.l1_misses)
+        obs.add(f"{prefix}.l2_misses", self.l2_misses)
+        obs.add(f"{prefix}.tlb_misses", self.tlb_misses)
+        obs.observe(f"{prefix}.l1_miss_rate", self.l1_miss_rate)
+        obs.observe(f"{prefix}.cycles_per_access", self.cpa)
+
 
 def _dedup_consecutive(values: np.ndarray) -> np.ndarray:
     """Drop consecutive repeats (they can never miss an LRU cache and
@@ -103,6 +115,7 @@ def simulate_hierarchy(
     n = int(addresses.size)
     if n == 0:
         return MemoryStats(0, 0, 0, 0, 0.0)
+    t0 = time.perf_counter() if obs.enabled() else 0.0
     if machine.l1.assoc == 1:
         l1_miss_mask = simulate_direct_mapped(addresses, machine.l1)
     else:
@@ -120,6 +133,11 @@ def simulate_hierarchy(
         + l2_misses * machine.mem
         + tlb_misses * machine.tlb_miss
     )
+    if obs.enabled():
+        elapsed = time.perf_counter() - t0
+        if elapsed > 0:
+            obs.gauge("memsim.events_per_sec", n / elapsed)
+        obs.observe("memsim.simulate_seconds", elapsed)
     return MemoryStats(n, l1_misses, l2_misses, tlb_misses, cycles)
 
 
@@ -222,15 +240,18 @@ class HierarchySimulator:
         addresses = np.asarray(addresses, dtype=np.int64)
         if addresses.size == 0:
             return
-        self._accesses += int(addresses.size)
-        l1_miss_mask = self._l1.feed(addresses // self.machine.l1.line)
-        self._l1_misses += int(l1_miss_mask.sum())
-        l2_stream = addresses[l1_miss_mask]
-        if l2_stream.size:
-            l2_miss_mask = self._l2.feed(l2_stream // self.machine.l2.line)
-            self._l2_misses += int(l2_miss_mask.sum())
-        if self._tlb is not None:
-            self._tlb_misses += self._tlb.feed(addresses)
+        with obs.span("memsim.feed", chunk=int(addresses.size)):
+            obs.add("memsim.chunks_fed")
+            obs.add("memsim.chunk_accesses", int(addresses.size))
+            self._accesses += int(addresses.size)
+            l1_miss_mask = self._l1.feed(addresses // self.machine.l1.line)
+            self._l1_misses += int(l1_miss_mask.sum())
+            l2_stream = addresses[l1_miss_mask]
+            if l2_stream.size:
+                l2_miss_mask = self._l2.feed(l2_stream // self.machine.l2.line)
+                self._l2_misses += int(l2_miss_mask.sum())
+            if self._tlb is not None:
+                self._tlb_misses += self._tlb.feed(addresses)
 
     def stats(self) -> MemoryStats:
         """Statistics over everything fed so far."""

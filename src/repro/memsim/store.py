@@ -37,6 +37,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.memsim.hierarchy import MemoryStats, simulate_hierarchy
 from repro.memsim.machine import MachineModel
 from repro.memsim.synthetic import (
@@ -93,6 +94,10 @@ class TraceStore:
         self.trace_misses = 0
         self.stats_hits = 0
         self.stats_misses = 0
+        # Content addresses this store touched, in first-touch order:
+        # key -> "hit" | "miss".  Run manifests embed these so any output
+        # can name the exact cached artifacts it was computed from.
+        self._touched: dict[str, str] = {}
 
     # -- bookkeeping ---------------------------------------------------
 
@@ -106,9 +111,18 @@ class TraceStore:
         }
 
     def reset_counters(self) -> None:
-        """Zero all hit/miss counters."""
+        """Zero all hit/miss counters and the touched-key record."""
         self.trace_hits = self.trace_misses = 0
         self.stats_hits = self.stats_misses = 0
+        self._touched.clear()
+
+    def content_addresses(self) -> list[str]:
+        """Touched cache keys (first-touch order) as ``kind:key=hit|miss``."""
+        return [f"{key}={verdict}" for key, verdict in self._touched.items()]
+
+    def _touch(self, kind: str, key: str, hit: bool) -> None:
+        self._touched.setdefault(f"{kind}:{key}", "hit" if hit else "miss")
+        obs.add(f"memsim.store.{kind}_{'hits' if hit else 'misses'}")
 
     # -- keys and paths ------------------------------------------------
 
@@ -157,9 +171,12 @@ class TraceStore:
                 pass  # corrupt/partial file: fall through and rebuild
             else:
                 self.trace_hits += 1
+                self._touch("trace", key, hit=True)
                 return arr
         self.trace_misses += 1
-        arr = np.asarray(build(), dtype=np.int64)
+        self._touch("trace", key, hit=False)
+        with obs.span("store.trace.build", key=key[:16], **fields):
+            arr = np.asarray(build(), dtype=np.int64)
         self._write_atomic(path, lambda tmp: np.save(tmp, arr))
         return arr
 
@@ -179,7 +196,9 @@ class TraceStore:
         """
         if not self.enabled:
             addrs = np.asarray(build_trace(), dtype=np.int64)
-            return simulate_hierarchy(addrs, machine, include_tlb=include_tlb)
+            st = simulate_hierarchy(addrs, machine, include_tlb=include_tlb)
+            st.publish()
+            return st
         key = self.key_of(
             {
                 "kind": "stats",
@@ -198,12 +217,17 @@ class TraceStore:
                 pass
             else:
                 self.stats_hits += 1
+                self._touch("stats", key, hit=True)
+                st.publish()
                 return st
         self.stats_misses += 1
+        self._touch("stats", key, hit=False)
         addrs = self.trace(fields, machine, build_trace)
-        st = simulate_hierarchy(addrs, machine, include_tlb=include_tlb)
+        with obs.span("store.stats.simulate", key=key[:16], **fields):
+            st = simulate_hierarchy(addrs, machine, include_tlb=include_tlb)
         blob = json.dumps(dataclasses.asdict(st))
         self._write_atomic(path, lambda tmp: tmp.write_text(blob))
+        st.publish()
         return st
 
 

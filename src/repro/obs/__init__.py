@@ -1,0 +1,59 @@
+"""`repro.obs` — spans, metrics, schedule traces, and run provenance.
+
+The observability layer threaded through the simulator stack:
+
+* :func:`span` / :func:`collector` — zero-dependency tracing with a
+  thread-safe in-process collector and JSONL export
+  (:mod:`repro.obs.core`);
+* :func:`add` / :func:`gauge` / :func:`observe` / :func:`registry` —
+  the metrics registry existing stats objects publish into
+  (:mod:`repro.obs.metrics`);
+* :mod:`repro.obs.perfetto` — virtual-time scheduler timelines as
+  Chrome-trace/Perfetto JSON;
+* :mod:`repro.obs.manifest` — provenance manifests (git SHA, seed,
+  machine fingerprint, trace-cache content addresses) for every
+  experiment/benchmark output.
+
+Everything is off by default and unmeasurable when off: set
+``REPRO_OBS=1`` (or call :func:`set_enabled`) to record.  The
+``python -m repro report`` and ``python -m repro trace`` subcommands
+are the CLI front ends.
+"""
+
+from repro.obs.core import (
+    NULL_SPAN,
+    SpanCollector,
+    collector,
+    enabled,
+    set_enabled,
+    span,
+)
+from repro.obs.manifest import build_manifest, obs_output_dir, write_manifest
+from repro.obs.metrics import MetricsRegistry, add, gauge, observe, registry
+from repro.obs.report import render_report
+
+__all__ = [
+    "NULL_SPAN",
+    "MetricsRegistry",
+    "SpanCollector",
+    "add",
+    "build_manifest",
+    "collector",
+    "enabled",
+    "gauge",
+    "observe",
+    "obs_output_dir",
+    "registry",
+    "render_report",
+    "reset",
+    "set_enabled",
+    "span",
+    "write_manifest",
+]
+
+
+def reset() -> None:
+    """Clear all recorded spans and metrics (counters on the trace store
+    are owned by the store and reset separately)."""
+    collector().reset()
+    registry().reset()

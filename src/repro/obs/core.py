@@ -1,0 +1,215 @@
+"""Zero-dependency spans: a thread-safe in-process trace collector.
+
+The whole simulator stack reports *counters* — miss rates, steal counts,
+conversion fractions — but none of them say where a sweep spent its
+time or which cached artifacts it touched.  This module provides the
+span half of the observability layer (:mod:`repro.obs.metrics` is the
+other half): a ``with obs.span("fig4.point", n=512, tile=32):`` context
+manager that records wall-clock extents into a process-wide collector,
+exportable as JSONL for offline inspection.
+
+Design constraints, in priority order:
+
+1. **Unmeasurable when disabled.**  ``span()`` checks one module-level
+   flag and returns a shared no-op context manager; no allocation, no
+   clock read.  The flag defaults to the ``REPRO_OBS`` environment
+   variable (off unless set truthy) and can be flipped at runtime with
+   :func:`set_enabled` (the ``python -m repro report`` path).
+2. **Thread-safe.**  Finished spans append under a lock; the ambient
+   parent stack is per-thread (``threading.local``), so spans opened on
+   worker threads nest correctly within that thread.
+3. **Zero dependencies.**  Stdlib only; records are plain dicts.
+
+Span records carry: ``name``, ``ts``/``dur`` (seconds relative to the
+collector epoch), ``tid`` (thread id), ``id``/``parent`` (intra-process
+span ids), and ``attrs`` (the keyword arguments given at creation).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+__all__ = [
+    "NULL_SPAN",
+    "SpanCollector",
+    "collector",
+    "enabled",
+    "set_enabled",
+    "span",
+]
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_OBS", "").strip().lower() in _TRUTHY
+
+
+class _NullSpan:
+    """Shared no-op context manager returned while obs is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NullSpan":
+        """Ignore attribute updates (API parity with :class:`LiveSpan`)."""
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+class SpanCollector:
+    """Thread-safe accumulator of finished span records."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._spans: list[dict] = []
+        self._ids = itertools.count(1)
+        self._stacks = threading.local()
+        self.epoch = time.perf_counter()
+
+    # -- per-thread parent stack --------------------------------------
+
+    def _stack(self) -> list[int]:
+        st = getattr(self._stacks, "stack", None)
+        if st is None:
+            st = self._stacks.stack = []
+        return st
+
+    def next_id(self) -> int:
+        return next(self._ids)
+
+    def record(self, rec: dict) -> None:
+        with self._lock:
+            self._spans.append(rec)
+
+    # -- inspection / export ------------------------------------------
+
+    def spans(self) -> list[dict]:
+        """Snapshot of all finished span records (oldest first)."""
+        with self._lock:
+            return list(self._spans)
+
+    def counts(self) -> dict[str, int]:
+        """Finished-span tally per span name."""
+        out: dict[str, int] = {}
+        for rec in self.spans():
+            out[rec["name"]] = out.get(rec["name"], 0) + 1
+        return out
+
+    def totals(self) -> dict[str, float]:
+        """Total recorded seconds per span name (self time not separated)."""
+        out: dict[str, float] = {}
+        for rec in self.spans():
+            out[rec["name"]] = out.get(rec["name"], 0.0) + rec["dur"]
+        return out
+
+    def reset(self) -> None:
+        """Drop all finished spans and restart the epoch."""
+        with self._lock:
+            self._spans.clear()
+            self.epoch = time.perf_counter()
+
+    def export_jsonl(self, path: str | Path) -> Path:
+        """Write one JSON object per finished span; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w") as fh:
+            for rec in self.spans():
+                fh.write(json.dumps(rec, sort_keys=True))
+                fh.write("\n")
+        return path
+
+
+class LiveSpan:
+    """An open span; created by :func:`span` while obs is enabled."""
+
+    __slots__ = ("name", "attrs", "_t0", "_id", "_parent", "_collector")
+
+    def __init__(self, name: str, attrs: dict, coll: SpanCollector):
+        self.name = name
+        self.attrs = attrs
+        self._collector = coll
+        self._t0 = 0.0
+        self._id = 0
+        self._parent: int | None = None
+
+    def set(self, **attrs) -> "LiveSpan":
+        """Attach/overwrite attributes while the span is open."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "LiveSpan":
+        coll = self._collector
+        stack = coll._stack()
+        self._parent = stack[-1] if stack else None
+        self._id = coll.next_id()
+        stack.append(self._id)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        t1 = time.perf_counter()
+        coll = self._collector
+        stack = coll._stack()
+        if stack and stack[-1] == self._id:
+            stack.pop()
+        coll.record(
+            {
+                "name": self.name,
+                "ts": self._t0 - coll.epoch,
+                "dur": t1 - self._t0,
+                "tid": threading.get_ident(),
+                "id": self._id,
+                "parent": self._parent,
+                "attrs": self.attrs,
+            }
+        )
+        return False
+
+
+_enabled = _env_enabled()
+_collector = SpanCollector()
+
+
+def enabled() -> bool:
+    """Whether the observability layer is currently recording."""
+    return _enabled
+
+
+def set_enabled(flag: bool) -> None:
+    """Turn span/metric recording on or off process-wide."""
+    global _enabled
+    _enabled = bool(flag)
+
+
+def collector() -> SpanCollector:
+    """The process-wide span collector."""
+    return _collector
+
+
+def span(name: str, **attrs):
+    """Open a span named ``name`` with attributes ``attrs``.
+
+    Usage::
+
+        with obs.span("fig4.point", n=512, tile=32):
+            ...
+
+    Returns the shared no-op span when obs is disabled, so the call is
+    safe (and unmeasurably cheap) on hot paths.
+    """
+    if not _enabled:
+        return NULL_SPAN
+    return LiveSpan(name, attrs, _collector)

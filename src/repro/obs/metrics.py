@@ -1,0 +1,173 @@
+"""Metrics registry: counters, gauges and histograms for the simulators.
+
+The second half of the observability layer (spans live in
+:mod:`repro.obs.core`).  Stats objects that already exist in the repo —
+:class:`~repro.memsim.hierarchy.MemoryStats`,
+:class:`~repro.runtime.scheduler.ScheduleResult`, the trace-cache
+counters on :class:`~repro.memsim.store.TraceStore` — publish into this
+registry via the gated helpers (:func:`add`, :func:`gauge`,
+:func:`observe`), and ``python -m repro report`` dumps a snapshot.
+
+Naming convention (dotted, lowercase): ``subsystem.object.metric`` —
+e.g. ``memsim.store.trace_hits``, ``scheduler.ws.steals``,
+``convert.elements``, ``timing.repeats``.  The taxonomy is documented
+in ``docs/MODELING.md`` ("Observability").
+
+All registry mutation helpers are no-ops while obs is disabled (one
+flag check), so instrumented hot paths cost nothing in normal runs.
+Histograms record count/total/min/max — enough for rates and spreads
+without reservoir bookkeeping.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs import core
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "add",
+    "gauge",
+    "observe",
+    "registry",
+]
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """Last-set value (e.g. a throughput snapshot)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """count/total/min/max summary of observed samples."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        if not self.count:
+            return {"count": 0, "total": 0.0, "min": None, "max": None, "mean": 0.0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe name -> instrument map with a JSON-able snapshot."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            c = self._counters.get(name)
+            if c is None:
+                c = self._counters[name] = Counter()
+            return c
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            g = self._gauges.get(name)
+            if g is None:
+                g = self._gauges[name] = Gauge()
+            return g
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            h = self._histograms.get(name)
+            if h is None:
+                h = self._histograms[name] = Histogram()
+            return h
+
+    def snapshot(self) -> dict:
+        """JSON-serializable dump of every instrument, sorted by name."""
+        with self._lock:
+            return {
+                "counters": {k: self._counters[k].value for k in sorted(self._counters)},
+                "gauges": {k: self._gauges[k].value for k in sorted(self._gauges)},
+                "histograms": {
+                    k: self._histograms[k].summary() for k in sorted(self._histograms)
+                },
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+_registry = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide metrics registry."""
+    return _registry
+
+
+def add(name: str, amount: int | float = 1) -> None:
+    """Increment counter ``name``; no-op while obs is disabled."""
+    if core.enabled():
+        _registry.counter(name).inc(amount)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set gauge ``name``; no-op while obs is disabled."""
+    if core.enabled():
+        _registry.gauge(name).set(value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record a histogram sample; no-op while obs is disabled."""
+    if core.enabled():
+        _registry.histogram(name).observe(value)

@@ -1,0 +1,72 @@
+"""Plain-text rendering of the current obs state (``python -m repro report``)."""
+
+from __future__ import annotations
+
+from repro.obs import core, metrics
+
+__all__ = ["render_report"]
+
+
+def _section(title: str) -> list[str]:
+    return [title, "-" * len(title)]
+
+
+def render_report(store=None) -> str:
+    """Human-readable dump: span counts/totals, metrics, cache counters."""
+    if store is None:
+        from repro.memsim.store import default_store
+
+        store = default_store()
+    lines: list[str] = []
+
+    c = store.counters()
+    lines += _section("trace cache")
+    lines.append(f"root: {store.root}  (enabled={store.enabled})")
+    total_trace = c["trace_hits"] + c["trace_misses"]
+    total_stats = c["stats_hits"] + c["stats_misses"]
+    trace_rate = c["trace_hits"] / total_trace if total_trace else 0.0
+    stats_rate = c["stats_hits"] / total_stats if total_stats else 0.0
+    lines.append(
+        f"traces: {c['trace_hits']} hit / {c['trace_misses']} miss "
+        f"(hit rate {trace_rate:.0%})"
+    )
+    lines.append(
+        f"stats:  {c['stats_hits']} hit / {c['stats_misses']} miss "
+        f"(hit rate {stats_rate:.0%})"
+    )
+
+    counts = core.collector().counts()
+    totals = core.collector().totals()
+    lines.append("")
+    lines += _section(f"spans ({sum(counts.values())} finished)")
+    if counts:
+        width = max(len(n) for n in counts)
+        for name in sorted(counts, key=lambda n: -totals[n]):
+            lines.append(
+                f"{name:<{width}}  x{counts[name]:<6d} {totals[name]:10.4f}s"
+            )
+    else:
+        lines.append("(none recorded — is REPRO_OBS enabled?)")
+
+    snap = metrics.registry().snapshot()
+    lines.append("")
+    lines += _section("metrics")
+    any_metric = False
+    for name, value in snap["counters"].items():
+        lines.append(f"counter    {name} = {value}")
+        any_metric = True
+    for name, value in snap["gauges"].items():
+        lines.append(f"gauge      {name} = {value:g}")
+        any_metric = True
+    for name, h in snap["histograms"].items():
+        if h["count"]:
+            lines.append(
+                f"histogram  {name}: n={h['count']} mean={h['mean']:g} "
+                f"min={h['min']:g} max={h['max']:g}"
+            )
+        else:
+            lines.append(f"histogram  {name}: n=0")
+        any_metric = True
+    if not any_metric:
+        lines.append("(none recorded)")
+    return "\n".join(lines)

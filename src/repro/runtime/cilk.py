@@ -34,6 +34,7 @@ import dataclasses
 import threading
 from typing import Callable, Sequence
 
+from repro.obs import metrics as obs_metrics
 from repro.runtime.task import SPNode, leaf
 
 __all__ = ["CostModel", "Runtime", "SerialRuntime", "TraceRuntime", "ThreadRuntime"]
@@ -101,6 +102,8 @@ class TraceRuntime(Runtime):
         self._last_task: SPNode | None = None
 
     def spawn_all(self, thunks: Sequence[Thunk]) -> list[object]:
+        obs_metrics.add("runtime.spawn_blocks")
+        obs_metrics.add("runtime.spawned_tasks", len(thunks))
         par = self._current.add(SPNode("parallel"))
         results = []
         for t in thunks:

@@ -16,6 +16,14 @@ Both are event-driven and deterministic given the seed, so the
 scalability experiments (paper Figures 5/6 x-axis: 1-4 processors, and
 the near-perfect speedups reported in Section 5) are exactly
 reproducible.
+
+Pass ``record_timeline=True`` to either scheduler to additionally
+capture the per-worker execution timeline (:class:`TaskSegment` per
+executed task, :class:`StealEvent` per steal attempt) on the returned
+:class:`ScheduleResult`.  Timelines are what
+:func:`repro.obs.perfetto.schedule_to_chrome_trace` turns into a
+Perfetto-loadable trace; recording is opt-in because it allocates one
+object per task.
 """
 
 from __future__ import annotations
@@ -25,9 +33,38 @@ import heapq
 
 import numpy as np
 
+from repro.obs import metrics as obs_metrics
 from repro.runtime.task import DagNode
 
-__all__ = ["ScheduleResult", "greedy_makespan", "work_stealing_makespan"]
+__all__ = [
+    "ScheduleResult",
+    "StealEvent",
+    "TaskSegment",
+    "greedy_makespan",
+    "work_stealing_makespan",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class TaskSegment:
+    """One task execution on one simulated worker's timeline."""
+
+    worker: int
+    start: float
+    end: float
+    task: int
+    label: str = ""
+    stolen: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class StealEvent:
+    """One steal attempt (successful or failed) in virtual time."""
+
+    time: float
+    thief: int
+    victim: int
+    ok: bool
 
 
 @dataclasses.dataclass(frozen=True)
@@ -39,10 +76,19 @@ class ScheduleResult:
     busy_time: float  # total worker-busy cycles (== T_1 for correct runs)
     steals: int = 0
     failed_steals: int = 0
+    #: Per-task execution records; empty unless ``record_timeline=True``.
+    segments: tuple[TaskSegment, ...] = ()
+    #: Steal attempts in virtual time; empty unless ``record_timeline=True``.
+    steal_events: tuple[StealEvent, ...] = ()
 
     @property
     def utilization(self) -> float:
-        """Fraction of worker-cycles spent on task work."""
+        """Fraction of worker-cycles spent on task work.
+
+        A zero-makespan schedule (an all-zero-cost DAG) did no work and
+        wasted no cycles; utilization is defined as 1.0 there so the
+        figure stays in [0, 1] instead of dividing by zero.
+        """
         denom = self.makespan * self.n_workers
         return self.busy_time / denom if denom else 1.0
 
@@ -51,39 +97,70 @@ class ScheduleResult:
         """T_1 (work) for computing speedups externally."""
         return self.busy_time
 
+    @property
+    def steal_success_rate(self) -> float:
+        """Successful steals per attempt (1.0 when nothing was attempted)."""
+        attempts = self.steals + self.failed_steals
+        return self.steals / attempts if attempts else 1.0
+
+    def publish(self, prefix: str = "scheduler") -> None:
+        """Publish this result into the obs metrics registry (gated)."""
+        obs_metrics.add(f"{prefix}.runs")
+        obs_metrics.add(f"{prefix}.steals", self.steals)
+        obs_metrics.add(f"{prefix}.failed_steals", self.failed_steals)
+        obs_metrics.observe(f"{prefix}.makespan_cycles", self.makespan)
+        obs_metrics.observe(f"{prefix}.utilization", self.utilization)
+        obs_metrics.observe(f"{prefix}.steal_success_rate", self.steal_success_rate)
+
 
 def _roots(dag: list[DagNode]) -> list[int]:
     return [n.index for n in dag if n.n_preds == 0]
 
 
-def greedy_makespan(dag: list[DagNode], n_workers: int) -> ScheduleResult:
+def greedy_makespan(
+    dag: list[DagNode],
+    n_workers: int,
+    record_timeline: bool = False,
+) -> ScheduleResult:
     """List-schedule the DAG on ``n_workers`` identical workers."""
     if n_workers < 1:
         raise ValueError(f"n_workers must be >= 1, got {n_workers}")
     pending = [n.n_preds for n in dag]
     ready = _roots(dag)
-    # Event queue of (finish_time, task) for running tasks.
-    running: list[tuple[float, int]] = []
+    # Event queue of (finish_time, task, worker) for running tasks; the
+    # worker id rides along for timeline recording and never affects
+    # the heap order ((finish, task) is already unique).
+    running: list[tuple[float, int, int]] = []
     clock = 0.0
     busy = 0.0
-    free = n_workers
+    free_workers = list(range(n_workers - 1, -1, -1))
     done = 0
+    segments: list[TaskSegment] = []
     while done < len(dag):
-        while ready and free:
+        while ready and free_workers:
             t = ready.pop()
-            heapq.heappush(running, (clock + dag[t].cost, t))
+            w = free_workers.pop()
+            heapq.heappush(running, (clock + dag[t].cost, t, w))
             busy += dag[t].cost
-            free -= 1
+            if record_timeline:
+                segments.append(
+                    TaskSegment(w, clock, clock + dag[t].cost, t, dag[t].label)
+                )
         if not running:
             raise RuntimeError("deadlocked DAG: no task running or ready")
-        clock, t = heapq.heappop(running)
-        free += 1
+        clock, t, w = heapq.heappop(running)
+        free_workers.append(w)
         done += 1
         for s in dag[t].succs:
             pending[s] -= 1
             if pending[s] == 0:
                 ready.append(s)
-    return ScheduleResult(makespan=clock, n_workers=n_workers, busy_time=busy)
+    return ScheduleResult(
+        makespan=clock,
+        n_workers=n_workers,
+        busy_time=busy,
+        segments=tuple(segments),
+    )
 
 
 def work_stealing_makespan(
@@ -91,6 +168,7 @@ def work_stealing_makespan(
     n_workers: int,
     steal_cost: float = 100.0,
     seed: int = 0,
+    record_timeline: bool = False,
 ) -> ScheduleResult:
     """Randomized work-stealing simulation (Cilk-style deques)."""
     if n_workers < 1:
@@ -107,17 +185,24 @@ def work_stealing_makespan(
     steals = 0
     failed = 0
     n_tasks = len(dag)
+    segments: list[TaskSegment] = []
+    steal_events: list[StealEvent] = []
     # Event-driven over worker local clocks: repeatedly advance the
     # earliest-time worker.
     heap = [(0.0, w) for w in range(n_workers)]
     heapq.heapify(heap)
     makespan = 0.0
 
-    def complete(task: int, finish: float, worker: int) -> None:
+    def complete(task: int, start: float, worker: int, stolen: bool) -> None:
         nonlocal busy, done, makespan
+        finish = start + dag[task].cost
         busy += dag[task].cost
         done += 1
         makespan = max(makespan, finish)
+        if record_timeline:
+            segments.append(
+                TaskSegment(worker, start, finish, task, dag[task].label, stolen)
+            )
         for s in dag[task].succs:
             pending[s] -= 1
             if pending[s] == 0:
@@ -128,7 +213,7 @@ def work_stealing_makespan(
         t_now, w = heapq.heappop(heap)
         if deques[w]:
             task = deques[w].pop()  # bottom: depth-first, like Cilk
-            complete(task, t_now + dag[task].cost, w)
+            complete(task, t_now, w, stolen=False)
             continue
         # Steal attempt from the top of a random victim.
         if n_workers == 1:
@@ -139,9 +224,13 @@ def work_stealing_makespan(
         if deques[victim]:
             task = deques[victim].pop(0)  # top: oldest (biggest) work
             steals += 1
-            complete(task, t_now + steal_cost + dag[task].cost, w)
+            if record_timeline:
+                steal_events.append(StealEvent(t_now, w, victim, True))
+            complete(task, t_now + steal_cost, w, stolen=True)
         else:
             failed += 1
+            if record_timeline:
+                steal_events.append(StealEvent(t_now, w, victim, False))
             heapq.heappush(heap, (t_now + steal_cost, w))
     return ScheduleResult(
         makespan=makespan,
@@ -149,4 +238,6 @@ def work_stealing_makespan(
         busy_time=busy,
         steals=steals,
         failed_steals=failed,
+        segments=tuple(segments),
+        steal_events=tuple(steal_events),
     )

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import dataclasses
 
+from repro import obs
 from repro.algorithms.dgemm import ALGORITHMS
 from repro.layouts.registry import get_layout
 from repro.memsim.machine import MachineModel, scaled
@@ -140,16 +141,22 @@ def sanitize_multiply(
         )
     layout = resolve_layout(layout)
     machine = machine or scaled()
-    rt = TraceRuntime(CostModel(spawn=0.0))
-    ctx = TraceContext(rt)
-    ctx, _, tiling = run_traced_multiply(
-        algorithm, layout, n, tile, mode=mode, depth=depth, ctx=ctx
-    )
-    oracle = SPOracle(rt.root)
-    scan, bounds = analyze_events(
-        ctx.events, oracle, ctx.space_allocs, machine, max_reports
-    )
-    bijection = check_layout_bijection(layout, tiling.d)
+    with obs.span("sanitize", algorithm=algorithm, layout=layout, n=n):
+        rt = TraceRuntime(CostModel(spawn=0.0))
+        ctx = TraceContext(rt)
+        ctx, _, tiling = run_traced_multiply(
+            algorithm, layout, n, tile, mode=mode, depth=depth, ctx=ctx
+        )
+        oracle = SPOracle(rt.root)
+        scan, bounds = analyze_events(
+            ctx.events, oracle, ctx.space_allocs, machine, max_reports
+        )
+        bijection = check_layout_bijection(layout, tiling.d)
+    obs.add("sanitize.runs")
+    obs.add("sanitize.race_pairs", scan.n_race_pairs)
+    obs.add("sanitize.false_sharing_pairs", scan.n_false_sharing_pairs)
+    obs.add("sanitize.bounds_errors", len(bounds))
+    obs.add("sanitize.bijection_errors", len(bijection))
     return SanitizeReport(
         algorithm=algorithm,
         layout=layout,

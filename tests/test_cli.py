@@ -14,7 +14,7 @@ class TestParser:
         assert set(subparsers.choices) == {
             "fig1", "fig2", "fig4", "fig5", "fig6", "fig6sim", "fig7",
             "critical", "scaling", "sharing", "conversion", "gemm",
-            "accuracy", "verify",
+            "accuracy", "verify", "sanitize", "trace", "report",
         }
 
     def test_requires_command(self, capsys):
@@ -71,6 +71,57 @@ class TestFastCommands:
         assert main(["fig7", "--n", "32", "--repeats", "1"]) == 0
         out = capsys.readouterr().out
         assert "unrolled" in out
+
+
+class TestObsCommands:
+    @pytest.fixture(autouse=True)
+    def _isolated_obs(self, tmp_path, monkeypatch):
+        # Keep obs artifacts out of the repo and restore the global
+        # enabled flag (``report`` flips it on).
+        from repro import obs
+
+        monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path))
+        was = obs.enabled()
+        yield
+        obs.set_enabled(was)
+        obs.reset()
+
+    def test_trace_writes_valid_chrome_trace(self, capsys, tmp_path):
+        import json
+
+        from repro.obs.perfetto import validate_chrome_trace
+
+        out = tmp_path / "trace.json"
+        assert main([
+            "trace", "--algorithm", "strassen", "-n", "48",
+            "--workers", "4", "--out", str(out),
+        ]) == 0
+        stdout = capsys.readouterr().out
+        assert "makespan" in stdout and "perfetto" in stdout
+        trace = json.loads(out.read_text())
+        assert validate_chrome_trace(trace) == []
+        meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        assert len(meta) == 4
+
+    def test_report_runs_subcommand_and_dumps(self, capsys, tmp_path):
+        assert main(["report", "--run", "fig2", "--order", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "spans" in out and "metrics" in out
+        assert "fig2" in out
+        assert (tmp_path / "spans.jsonl").exists()
+        assert (tmp_path / "manifests" / "report.json").exists()
+
+    def test_report_rejects_nested_obs_commands(self):
+        with pytest.raises(SystemExit):
+            main(["report", "--run", "report"])
+
+    def test_run_manifest_written_for_ordinary_command(self, capsys, tmp_path):
+        import json
+
+        assert main(["fig1"]) == 0
+        manifest = json.loads((tmp_path / "manifests" / "fig1.json").read_text())
+        assert manifest["command"] == "fig1"
+        assert manifest["schema_version"] == 1
 
 
 class TestSlowerCommands:

@@ -1,0 +1,138 @@
+"""Chrome-trace (Perfetto) export of virtual-time schedules."""
+
+import json
+
+import pytest
+
+from repro.obs.perfetto import (
+    schedule_to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.runtime.scheduler import (
+    greedy_makespan,
+    work_stealing_makespan,
+)
+from repro.runtime.task import leaf, parallel, series, to_dag
+
+#: The tiny golden DAG: a root task forking 6 parallel children and a
+#: join — small enough to eyeball, wide enough to force steals on p>1.
+def _tiny_dag():
+    return to_dag(
+        series(leaf(2.0), parallel(*[leaf(10.0) for _ in range(6)]), leaf(3.0))
+    )
+
+
+class TestGoldenExport:
+    def test_tiny_dag_export_is_valid(self):
+        res = work_stealing_makespan(_tiny_dag(), 3, seed=11, record_timeline=True)
+        trace = schedule_to_chrome_trace(res, title="tiny")
+        assert validate_chrome_trace(trace) == []
+
+    def test_one_track_per_worker(self):
+        res = work_stealing_makespan(_tiny_dag(), 3, seed=11, record_timeline=True)
+        trace = schedule_to_chrome_trace(res)
+        meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        assert sorted(e["tid"] for e in meta) == [0, 1, 2]
+        assert all(e["name"] == "thread_name" for e in meta)
+
+    def test_complete_events_sorted_and_cover_tasks(self):
+        dag = _tiny_dag()
+        res = work_stealing_makespan(dag, 2, seed=5, record_timeline=True)
+        trace = schedule_to_chrome_trace(res)
+        xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert len(xs) == len(dag)
+        ts = [e["ts"] for e in trace["traceEvents"] if e["ph"] != "M"]
+        assert ts == sorted(ts)
+        assert all(e["dur"] >= 0 for e in xs)
+        assert sorted(e["args"]["task"] for e in xs) == list(range(len(dag)))
+
+    def test_steal_attempts_are_instant_events(self):
+        res = work_stealing_makespan(_tiny_dag(), 4, seed=3, record_timeline=True)
+        trace = schedule_to_chrome_trace(res)
+        instants = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+        assert len(instants) == res.steals + res.failed_steals
+        assert all(e["s"] == "t" for e in instants)
+        oks = sum(1 for e in instants if e["args"]["ok"])
+        assert oks == res.steals
+
+    def test_greedy_schedule_exports_too(self):
+        res = greedy_makespan(_tiny_dag(), 2, record_timeline=True)
+        trace = schedule_to_chrome_trace(res)
+        assert validate_chrome_trace(trace) == []
+        assert trace["otherData"]["steals"] == 0
+
+    def test_unrecorded_result_is_rejected(self):
+        res = work_stealing_makespan(_tiny_dag(), 2, seed=1)
+        with pytest.raises(ValueError, match="record_timeline"):
+            schedule_to_chrome_trace(res)
+
+    def test_write_golden_file_roundtrip(self, tmp_path):
+        res = work_stealing_makespan(_tiny_dag(), 3, seed=11, record_timeline=True)
+        trace = schedule_to_chrome_trace(res, title="golden")
+        path = write_chrome_trace(tmp_path / "golden.json", trace)
+        loaded = json.loads(path.read_text())
+        assert validate_chrome_trace(loaded) == []
+        assert loaded["otherData"]["title"] == "golden"
+        assert loaded["otherData"]["makespan_cycles"] == res.makespan
+
+    def test_export_is_deterministic(self):
+        dag = _tiny_dag()
+        a = schedule_to_chrome_trace(
+            work_stealing_makespan(dag, 3, seed=11, record_timeline=True)
+        )
+        b = schedule_to_chrome_trace(
+            work_stealing_makespan(dag, 3, seed=11, record_timeline=True)
+        )
+        assert a == b
+
+
+class TestValidator:
+    def _minimal(self, events):
+        return {"traceEvents": events}
+
+    def test_rejects_missing_trace_events(self):
+        assert validate_chrome_trace({}) == ["traceEvents missing or not a list"]
+
+    def test_rejects_missing_ph(self):
+        errs = validate_chrome_trace(self._minimal([{"pid": 1, "tid": 0}]))
+        assert any("missing ph" in e for e in errs)
+
+    def test_rejects_unsorted_ts(self):
+        events = [
+            {"ph": "i", "s": "t", "pid": 1, "tid": 0, "ts": 5.0},
+            {"ph": "i", "s": "t", "pid": 1, "tid": 0, "ts": 2.0},
+        ]
+        errs = validate_chrome_trace(self._minimal(events))
+        assert any("unsorted" in e for e in errs)
+
+    def test_rejects_negative_duration(self):
+        events = [{"ph": "X", "pid": 1, "tid": 0, "ts": 0.0, "dur": -1.0}]
+        errs = validate_chrome_trace(self._minimal(events))
+        assert any("bad dur" in e for e in errs)
+
+    def test_rejects_unbalanced_b_e(self):
+        events = [
+            {"ph": "B", "pid": 1, "tid": 0, "ts": 0.0, "name": "a"},
+            {"ph": "B", "pid": 1, "tid": 0, "ts": 1.0, "name": "b"},
+            {"ph": "E", "pid": 1, "tid": 0, "ts": 2.0},
+        ]
+        errs = validate_chrome_trace(self._minimal(events))
+        assert any("unmatched B" in e for e in errs)
+
+    def test_rejects_e_without_b(self):
+        events = [{"ph": "E", "pid": 1, "tid": 0, "ts": 0.0}]
+        errs = validate_chrome_trace(self._minimal(events))
+        assert any("E without matching B" in e for e in errs)
+
+    def test_accepts_balanced_b_e(self):
+        events = [
+            {"ph": "B", "pid": 1, "tid": 0, "ts": 0.0, "name": "a"},
+            {"ph": "E", "pid": 1, "tid": 0, "ts": 3.0},
+        ]
+        assert validate_chrome_trace(self._minimal(events)) == []
+
+    def test_write_refuses_invalid(self, tmp_path):
+        bad = self._minimal([{"ph": "X", "pid": 1, "tid": 0, "ts": -4, "dur": 1}])
+        with pytest.raises(ValueError, match="invalid chrome trace"):
+            write_chrome_trace(tmp_path / "bad.json", bad)

@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.runtime.scheduler import greedy_makespan, work_stealing_makespan
+from repro.runtime.scheduler import (
+    ScheduleResult,
+    greedy_makespan,
+    work_stealing_makespan,
+)
 from repro.runtime.task import leaf, parallel, series, span, to_dag, work
 
 
@@ -105,6 +109,92 @@ class TestWorkStealing:
     def test_invalid_workers(self):
         with pytest.raises(ValueError):
             work_stealing_makespan(_wide_dag(4), 0)
+
+
+class TestScheduleResultEdgeCases:
+    def test_zero_makespan_utilization_is_one(self):
+        # An all-zero-cost DAG finishes at t=0; utilization must stay
+        # defined (and in [0, 1]) instead of dividing by zero.
+        res = ScheduleResult(makespan=0.0, n_workers=4, busy_time=0.0)
+        assert res.utilization == 1.0
+
+    def test_zero_cost_dag_through_greedy(self):
+        dag = to_dag(parallel(*[leaf(0.0) for _ in range(8)]))
+        res = greedy_makespan(dag, 4)
+        assert res.makespan == 0.0
+        assert res.utilization == 1.0
+        assert res.speedup_baseline == 0.0
+
+    def test_single_worker_utilization_is_one(self):
+        # One greedy worker never idles, so utilization is exactly 1.
+        res = greedy_makespan(_matmul_like_dag(), 1)
+        assert res.utilization == pytest.approx(1.0)
+        assert res.makespan == pytest.approx(res.busy_time)
+
+    def test_speedup_baseline_is_work(self):
+        tree = _matmul_like_tree(2)
+        res = greedy_makespan(to_dag(tree), 3)
+        assert res.speedup_baseline == pytest.approx(work(tree))
+
+    def test_steal_success_rate_no_attempts(self):
+        res = ScheduleResult(makespan=1.0, n_workers=1, busy_time=1.0)
+        assert res.steal_success_rate == 1.0
+
+    def test_steal_success_rate_counts(self):
+        res = ScheduleResult(
+            makespan=1.0, n_workers=2, busy_time=1.0, steals=3, failed_steals=1
+        )
+        assert res.steal_success_rate == pytest.approx(0.75)
+
+
+def _matmul_like_dag():
+    return to_dag(_matmul_like_tree(2))
+
+
+class TestTimelineRecording:
+    def test_off_by_default(self):
+        res = work_stealing_makespan(_matmul_like_dag(), 4)
+        assert res.segments == ()
+        assert res.steal_events == ()
+
+    def test_segments_cover_busy_time(self):
+        res = work_stealing_makespan(
+            _matmul_like_dag(), 4, record_timeline=True
+        )
+        covered = sum(s.end - s.start for s in res.segments)
+        assert covered == pytest.approx(res.busy_time)
+        assert res.steals == sum(1 for s in res.segments if s.stolen)
+        assert res.steals == sum(1 for e in res.steal_events if e.ok)
+        assert res.failed_steals == sum(1 for e in res.steal_events if not e.ok)
+
+    def test_segments_do_not_overlap_per_worker(self):
+        res = work_stealing_makespan(
+            _matmul_like_dag(), 3, record_timeline=True, seed=7
+        )
+        for w in range(res.n_workers):
+            segs = sorted(
+                (s for s in res.segments if s.worker == w),
+                key=lambda s: s.start,
+            )
+            for a, b in zip(segs, segs[1:]):
+                assert a.end <= b.start + 1e-9
+
+    def test_recording_does_not_change_results(self):
+        dag = _matmul_like_dag()
+        plain = work_stealing_makespan(dag, 4, seed=5)
+        recorded = work_stealing_makespan(dag, 4, seed=5, record_timeline=True)
+        assert plain.makespan == recorded.makespan
+        assert plain.steals == recorded.steals
+        assert plain.failed_steals == recorded.failed_steals
+        g_plain = greedy_makespan(dag, 4)
+        g_rec = greedy_makespan(dag, 4, record_timeline=True)
+        assert g_plain.makespan == g_rec.makespan
+        assert len(g_rec.segments) == len(dag)
+
+    def test_greedy_segments_one_per_task(self):
+        dag = _matmul_like_dag()
+        res = greedy_makespan(dag, 2, record_timeline=True)
+        assert sorted(s.task for s in res.segments) == list(range(len(dag)))
 
 
 class TestRealAlgorithmDags:
