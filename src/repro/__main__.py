@@ -79,7 +79,8 @@ def _cmd_fig2(args) -> None:
 
 
 def _cmd_fig4(args) -> None:
-    rows = fig4_tile_size_sweep(n=args.n, tiles=args.tiles, repeats=args.repeats)
+    rows = fig4_tile_size_sweep(n=args.n, tiles=args.tiles, repeats=args.repeats,
+                                jobs=args.jobs)
     print(format_table(
         ["tile", "seconds", "sim cycles/flop", "L1 miss rate"],
         [[r["tile"], r["seconds"], r.get("sim_cycles_per_flop", "-"),
@@ -92,7 +93,7 @@ def _cmd_fig4(args) -> None:
 
 def _cmd_fig5(args) -> None:
     n_values = list(range(args.start, args.stop + 1, args.step))
-    rows = fig5_robustness(n_values=n_values, tile=args.tile)
+    rows = fig5_robustness(n_values=n_values, tile=args.tile, jobs=args.jobs)
     keys = ["standard_LC", "standard_LZ", "strassen_LC", "strassen_LZ"]
     print(format_table(
         ["n"] + keys, [[r["n"]] + [r[k] for k in keys] for r in rows],
@@ -103,7 +104,7 @@ def _cmd_fig5(args) -> None:
 
 
 def _cmd_fig6(args) -> None:
-    rows = fig6_layout_comparison(n=args.n, repeats=args.repeats)
+    rows = fig6_layout_comparison(n=args.n, repeats=args.repeats, jobs=args.jobs)
     print(format_table(
         ["algorithm", "layout", "p=1 (s)", "p=2 (s)", "p=4 (s)"],
         [[r["algorithm"], r["layout"], r["p1_seconds"],
@@ -113,7 +114,7 @@ def _cmd_fig6(args) -> None:
 
 
 def _cmd_fig6sim(args) -> None:
-    rows = fig6_simulated(n=args.n, tile=args.tile)
+    rows = fig6_simulated(n=args.n, tile=args.tile, jobs=args.jobs)
     print(format_table(
         ["algorithm", "layout", "sim cycles/flop", "vs LC"],
         [[r["algorithm"], r["layout"], r["sim_cycles_per_flop"], r["vs_LC"]]
@@ -309,12 +310,18 @@ def _cmd_trace(args) -> None:
 
 
 def _cmd_report(args) -> None:
+    import os
+
     from repro.memsim.store import default_store
 
     obs.set_enabled(True)
     if args.fresh:
         obs.reset()
         default_store().reset_counters()
+    if args.jobs is not None:
+        # The nested subcommand (and any sweep workers it forks) picks
+        # the worker count up from the environment.
+        os.environ["REPRO_JOBS"] = str(args.jobs)
     # Default workload touches the trace cache, so a bare `report` still
     # demonstrates nonzero cache and span counters.
     run = list(args.run) if args.run else ["fig6sim", "--n", "48", "--tile", "8"]
@@ -326,7 +333,8 @@ def _cmd_report(args) -> None:
     print(obs.render_report())
     out_dir = obs.obs_output_dir()
     trace_path = obs.collector().export_jsonl(out_dir / "spans.jsonl")
-    manifest = obs.build_manifest(command="report", extra={"run": run})
+    manifest = obs.build_manifest(command="report", jobs=args.jobs,
+                                  extra={"run": run})
     manifest_path = obs.write_manifest(out_dir / "manifests" / "report.json", manifest)
     print()
     print(f"spans:    {trace_path}")
@@ -349,10 +357,14 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--order", type=int, default=3)
     s.set_defaults(fn=_cmd_fig2)
 
+    jobs_help = ("sweep worker processes (default: REPRO_JOBS env, else "
+                 "cpu count; 1 = serial)")
+
     s = sub.add_parser("fig4", help="tile-size sweep (Figure 4)")
     s.add_argument("--n", type=int, default=256)
     s.add_argument("--tiles", type=int, nargs="+", default=None)
     s.add_argument("--repeats", type=int, default=3)
+    s.add_argument("--jobs", "-j", type=int, default=None, help=jobs_help)
     s.set_defaults(fn=_cmd_fig4)
 
     s = sub.add_parser("fig5", help="robustness scan (Figure 5)")
@@ -360,16 +372,19 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--stop", type=int, default=280)
     s.add_argument("--step", type=int, default=4)
     s.add_argument("--tile", type=int, default=16)
+    s.add_argument("--jobs", "-j", type=int, default=None, help=jobs_help)
     s.set_defaults(fn=_cmd_fig5)
 
     s = sub.add_parser("fig6", help="layout comparison, wall-clock (Figure 6)")
     s.add_argument("--n", type=int, default=200)
     s.add_argument("--repeats", type=int, default=3)
+    s.add_argument("--jobs", "-j", type=int, default=None, help=jobs_help)
     s.set_defaults(fn=_cmd_fig6)
 
     s = sub.add_parser("fig6sim", help="layout comparison, simulated memory")
     s.add_argument("--n", type=int, default=250)
     s.add_argument("--tile", type=int, default=16)
+    s.add_argument("--jobs", "-j", type=int, default=None, help=jobs_help)
     s.set_defaults(fn=_cmd_fig6sim)
 
     s = sub.add_parser("fig7", help="kernel tiers (Figure 7)")
@@ -448,6 +463,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "--run fig2 --order 2 (default: a small fig6sim)")
     s.add_argument("--no-fresh", dest="fresh", action="store_false",
                    help="keep previously recorded spans/metrics/counters")
+    s.add_argument("--jobs", "-j", type=int, default=None,
+                   help="set REPRO_JOBS for the nested subcommand "
+                        "(sweep worker processes)")
     s.set_defaults(fn=_cmd_report, fresh=True)
 
     s = sub.add_parser("gemm", help="run one dgemm and show its cost breakdown")
@@ -469,6 +487,7 @@ def _write_run_manifest(args, argv: list[str] | None) -> None:
             command=args.command,
             argv=argv,
             seed=getattr(args, "seed", None),
+            jobs=getattr(args, "jobs", None),
         )
         obs.write_manifest(
             obs.obs_output_dir() / "manifests" / f"{args.command}.json", manifest

@@ -22,7 +22,7 @@ breakdown (conversion vs. compute time, operation counters, pad ratio).
 from __future__ import annotations
 
 import dataclasses
-import time
+from repro import clock
 
 import numpy as np
 
@@ -129,7 +129,7 @@ def dgemm(
     ``fast``/``fast_levels`` configure ``algorithm="hybrid"``
     (``fast_levels=None`` picks the modeled crossover).
     """
-    t_start = time.perf_counter()
+    t_start = clock.perf_counter()
     if a.ndim != 2 or b.ndim != 2:
         raise ValueError("a and b must be 2-D")
     if algorithm not in ALGORITHMS:
@@ -188,7 +188,7 @@ def dgemm(
                 else:
                     av = to_tiled(asub, layout, at, a_tr, out.dtype, stats=conv)
                     bv = to_tiled(bsub, layout, bt, b_tr, out.dtype, stats=conv)
-                t0 = time.perf_counter()
+                t0 = clock.perf_counter()
                 extra: dict = {}
                 if algorithm == "standard":
                     extra["mode"] = mode
@@ -209,11 +209,11 @@ def dgemm(
                     accumulate=True,
                     **extra,
                 )
-                compute_seconds += time.perf_counter() - t0
+                compute_seconds += clock.perf_counter() - t0
             if layout == "LC":
-                t0 = time.perf_counter()
+                t0 = clock.perf_counter()
                 block_result = c_acc.array[:bm, :bn]
-                conv.record(c_acc.array.size, out.dtype.itemsize, time.perf_counter() - t0)
+                conv.record(c_acc.array.size, out.dtype.itemsize, clock.perf_counter() - t0)
             else:
                 block_result = from_tiled(c_acc, stats=conv)
             out[rm[0] : rm[1], rn[0] : rn[1]] = block_result
@@ -235,7 +235,7 @@ def dgemm(
         conversion=conv,
         counters=counted,
         compute_seconds=compute_seconds,
-        total_seconds=time.perf_counter() - t_start,
+        total_seconds=clock.perf_counter() - t_start,
     )
 
 

@@ -18,8 +18,16 @@ from repro.analysis.experiments import (
     simulated_speedups,
     slowdown_vs_native,
 )
+from repro.analysis.parallel import (
+    SweepPoint,
+    make_point,
+    merge_payloads,
+    resolve_jobs,
+    run_point,
+    run_sweep,
+)
 from repro.analysis.report import ascii_plot, format_table
-from repro.analysis.timing import Measurement, measure
+from repro.analysis.timing import Measurement, deterministic_timing, measure
 
 __all__ = [
     "workloads",
@@ -40,8 +48,15 @@ __all__ = [
     "scaling_table",
     "simulated_speedups",
     "slowdown_vs_native",
+    "SweepPoint",
+    "make_point",
+    "merge_payloads",
+    "resolve_jobs",
+    "run_point",
+    "run_sweep",
     "ascii_plot",
     "format_table",
     "Measurement",
+    "deterministic_timing",
     "measure",
 ]

@@ -4,6 +4,13 @@ Every driver returns plain data (lists of dict rows) so the benchmark
 harness, the examples, and the tests consume the same code path.  The
 scales default to laptop-friendly sizes; the paper-scale parameters are
 documented per driver and accepted as arguments.
+
+The grid-shaped drivers (fig4/fig5/fig6/fig6sim) decompose into sweep
+points executed by :mod:`repro.analysis.parallel`: a ``jobs`` argument
+(default: ``REPRO_JOBS`` env, else ``os.cpu_count()``) fans the points
+out over a process pool; ``jobs=1`` is the original serial path.
+Results are identical for every ``jobs`` value — the golden-figure
+tests pin this byte-for-byte.
 """
 
 from __future__ import annotations
@@ -15,13 +22,19 @@ import numpy as np
 from repro import obs
 from repro.algorithms.dgemm import dgemm
 from repro.algorithms.locality import footprint_counts
+from repro.analysis.parallel import (
+    fig4_points,
+    fig5_points,
+    fig6_points,
+    fig6sim_points,
+    run_sweep,
+)
 from repro.analysis.timing import measure
 from repro.layouts.curves import dilation_profile
 from repro.layouts.registry import PAPER_LAYOUTS
 from repro.matrix.tile import TileRange
 from repro.memsim.coherence import assign_by_output, false_sharing_stats
 from repro.memsim.machine import MachineModel, ultrasparc_like
-from repro.memsim.store import cached_multiply_stats, cached_synthetic_stats
 from repro.memsim.synthetic import dense_standard_events
 from repro.memsim.trace import trace_multiply
 from repro.runtime.cilk import CostModel, TraceRuntime
@@ -89,6 +102,7 @@ def fig4_tile_size_sweep(
     repeats: int = 3,
     machine: MachineModel | None = None,
     include_memsim: bool = True,
+    jobs: int | None = None,
 ) -> list[dict]:
     """E3 / Figure 4: execution time vs. leaf tile size.
 
@@ -101,39 +115,19 @@ def fig4_tile_size_sweep(
     if tiles is None:
         tiles = [t for t in (4, 8, 16, 32, 64, 128) if t <= n]
     machine = machine or ultrasparc_like()
-    rng = np.random.default_rng(4)
-    a = rng.standard_normal((n, n))
-    b = rng.standard_normal((n, n))
-    rows = []
+    points = fig4_points(
+        n=n, tiles=tiles, algorithm=algorithm, layout=layout,
+        repeats=repeats, machine=machine, include_memsim=include_memsim,
+    )
     with obs.span("fig4", n=n, algorithm=algorithm, layout=layout, repeats=repeats):
-        for t in tiles:
-            with obs.span("fig4.point", n=n, tile=t, algorithm=algorithm,
-                          layout=layout):
-                res = dgemm(a, b, tile=t, algorithm=algorithm, layout=layout)
-                meas = measure(
-                    lambda: dgemm(a, b, tile=t, algorithm=algorithm, layout=layout),
-                    repeats=repeats,
-                    warmup=0,
-                )
-                row = {
-                    "n": n,
-                    "tile": t,
-                    "seconds": meas.median,
-                    "conversion_fraction": res.conversion_fraction,
-                }
-                if include_memsim:
-                    stats = cached_multiply_stats(algorithm, layout, n, t, machine)
-                    row["sim_cycles"] = stats.cycles
-                    row["sim_cycles_per_flop"] = stats.cycles / (2 * n**3)
-                    row["l1_miss_rate"] = stats.l1_miss_rate
-                rows.append(row)
-    return rows
+        return run_sweep(points, jobs=jobs)
 
 
 def fig5_robustness(
     n_values: Sequence[int] | None = None,
     tile: int = 16,
     machine: MachineModel | None = None,
+    jobs: int | None = None,
 ) -> list[dict]:
     """E4 / Figure 5: sensitivity of memory cost to the matrix size n.
 
@@ -146,41 +140,13 @@ def fig5_robustness(
     if n_values is None:
         n_values = list(range(248, 281, 4))
     machine = machine or ultrasparc_like()
-    # Pin one tile-grid regime across the sweep (the paper's [1000,1048]
-    # range keeps d=5 with t = ceil(n/32)); the grid adapting mid-sweep
-    # would step the leaf size and mask the per-n memory effects.
-    depth = max(0, (min(n_values) // tile).bit_length() - 1)
-    rows = []
-    with obs.span("fig5", tile=tile, points=len(list(n_values))):
-        for n in n_values:
-            with obs.span("fig5.point", n=n, tile=tile):
-                flops = 2.0 * n**3
-                # standard / LC: canonical storage with leading dimension n.
-                lc_std = cached_synthetic_stats(
-                    "dense_standard", machine, n=n, tile=tile
-                )
-                # standard / LZ: real recursive-layout execution (padded).
-                lz_std = cached_multiply_stats(
-                    "standard", "LZ", n, tile, machine, depth=depth
-                )
-                # strassen / LC: synthetic ld=n trace with contiguous temporaries.
-                lc_str = cached_synthetic_stats(
-                    "dense_strassen", machine, n=n, tile=tile, depth=depth
-                )
-                # strassen / LZ: real recursive-layout execution.
-                lz_str = cached_multiply_stats(
-                    "strassen", "LZ", n, tile, machine, depth=depth
-                )
-                rows.append(
-                    {
-                        "n": n,
-                        "standard_LC": lc_std.cycles / flops,
-                        "standard_LZ": lz_std.cycles / flops,
-                        "strassen_LC": lc_str.cycles / flops,
-                        "strassen_LZ": lz_str.cycles / flops,
-                    }
-                )
-    return rows
+    # The point generator pins one tile-grid regime across the sweep
+    # (the paper's [1000,1048] range keeps d=5 with t = ceil(n/32)); the
+    # grid adapting mid-sweep would step the leaf size and mask the
+    # per-n memory effects.
+    points = fig5_points(n_values=n_values, tile=tile, machine=machine)
+    with obs.span("fig5", tile=tile, points=len(points)):
+        return run_sweep(points, jobs=jobs)
 
 
 def fig6_layout_comparison(
@@ -190,6 +156,7 @@ def fig6_layout_comparison(
     procs: Sequence[int] = (1, 2, 4),
     trange: TileRange | None = None,
     repeats: int = 3,
+    jobs: int | None = None,
 ) -> list[dict]:
     """E5 / Figure 6: all layouts x all algorithms x processor counts.
 
@@ -202,32 +169,12 @@ def fig6_layout_comparison(
     competitive for the fast ones; near-linear scaling to 4 processors.
     """
     trange = trange or TileRange()
-    rng = np.random.default_rng(6)
-    a = rng.standard_normal((n, n))
-    b = rng.standard_normal((n, n))
-    rows = []
+    points = fig6_points(
+        n=n, algorithms=algorithms, layouts=layouts, procs=procs,
+        trange=trange, repeats=repeats,
+    )
     with obs.span("fig6", n=n, repeats=repeats):
-        for algo in algorithms:
-            for lay in layouts:
-                with obs.span("fig6.point", algorithm=algo, layout=lay, n=n):
-                    meas = measure(
-                        lambda: dgemm(a, b, algorithm=algo, layout=lay,
-                                      trange=trange),
-                        repeats=repeats,
-                        warmup=1,
-                    )
-                    row = {"algorithm": algo, "layout": lay, "n": n,
-                           "p1_seconds": meas.median}
-                    if len([p for p in procs if p > 1]):
-                        speedups = simulated_speedups(
-                            algo, n, trange=trange, procs=procs
-                        )
-                        for p in procs:
-                            if p == 1:
-                                continue
-                            row[f"p{p}_seconds"] = meas.median / speedups[p]
-                    rows.append(row)
-    return rows
+        return run_sweep(points, jobs=jobs)
 
 
 def fig6_simulated(
@@ -236,6 +183,7 @@ def fig6_simulated(
     algorithms: Sequence[str] = ("standard", "strassen", "winograd"),
     layouts: Sequence[str] = PAPER_LAYOUTS,
     machine: MachineModel | None = None,
+    jobs: int | None = None,
 ) -> list[dict]:
     """E5 companion: simulated memory cost for every algorithm x layout.
 
@@ -248,27 +196,29 @@ def fig6_simulated(
     pads to a power-of-two leading dimension on its direct-mapped cache.
     """
     machine = machine or ultrasparc_like()
-    rows = []
+    points = fig6sim_points(
+        n=n, tile=tile, algorithms=algorithms, layouts=layouts, machine=machine,
+    )
     with obs.span("fig6sim", n=n, tile=tile):
-        for algo in algorithms:
-            flops = None
-            per_layout = {}
-            for lay in layouts:
-                with obs.span("fig6sim.point", algorithm=algo, layout=lay, n=n):
-                    st = cached_multiply_stats(algo, lay, n, tile, machine)
-                per_layout[lay] = st.cycles
-                flops = 2.0 * n**3
-            for lay in layouts:
-                rows.append(
-                    {
-                        "algorithm": algo,
-                        "layout": lay,
-                        "n": n,
-                        "sim_cycles_per_flop": per_layout[lay] / flops,
-                        "vs_LC": per_layout[lay]
-                        / per_layout.get("LC", per_layout[lay]),
-                    }
-                )
+        raw = run_sweep(points, jobs=jobs)
+    # Merge step: the vs-L_C ratio needs the whole per-algorithm group,
+    # so it derives from the gathered cycles rather than inside a point.
+    cycles = {(r["algorithm"], r["layout"]): r["cycles"] for r in raw}
+    flops = 2.0 * n**3
+    rows = []
+    for algo in algorithms:
+        per_layout = {lay: cycles[(algo, lay)] for lay in layouts}
+        for lay in layouts:
+            rows.append(
+                {
+                    "algorithm": algo,
+                    "layout": lay,
+                    "n": n,
+                    "sim_cycles_per_flop": per_layout[lay] / flops,
+                    "vs_LC": per_layout[lay]
+                    / per_layout.get("LC", per_layout[lay]),
+                }
+            )
     return rows
 
 

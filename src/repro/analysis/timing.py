@@ -12,6 +12,15 @@ min/median-of-N rather than a single draw; each call also logs its
 repeat count and median through the obs metrics registry
 (``timing.*``), making the measurement protocol itself auditable in
 ``python -m repro report``.
+
+Setting ``REPRO_DETERMINISTIC_TIMING=1`` replaces every measurement
+with zeros (the measured callable still runs once, so its side effects
+and errors are preserved).  Wall-clock samples are the one
+intrinsically nondeterministic output of the figure drivers; zeroing
+them is what lets the golden-figure tests assert byte-identical driver
+output across runs and across ``REPRO_JOBS`` values.  The flag is read
+per call, so it propagates to sweep worker processes through their
+inherited environment.
 """
 
 from __future__ import annotations
@@ -22,8 +31,9 @@ import time
 from typing import Callable
 
 from repro import obs
+from repro.clock import deterministic_timing
 
-__all__ = ["Measurement", "measure"]
+__all__ = ["Measurement", "deterministic_timing", "measure"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -45,6 +55,15 @@ def measure(fn: Callable[[], object], repeats: int = 3, warmup: int = 1) -> Meas
     """Median-of-``repeats`` timing of ``fn`` after ``warmup`` calls."""
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if deterministic_timing():
+        fn()
+        obs.add("timing.measure_calls")
+        obs.observe("timing.repeats", repeats)
+        obs.observe("timing.median_seconds", 0.0)
+        return Measurement(
+            median=0.0, best=0.0, worst=0.0, repeats=repeats,
+            samples=(0.0,) * repeats,
+        )
     for _ in range(warmup):
         fn()
     times = []

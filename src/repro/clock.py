@@ -1,0 +1,45 @@
+"""Process-wide monotonic clock with a deterministic mode.
+
+Every wall-clock number the repo emits — ``measure()`` samples, the
+per-phase timings inside :func:`repro.algorithms.dgemm.dgemm`, the
+conversion accounting in :mod:`repro.matrix.convert` — flows through
+:func:`perf_counter` here instead of calling ``time.perf_counter``
+directly.  Normally that is a pass-through.  With
+``REPRO_DETERMINISTIC_TIMING`` set truthy, the clock returns a constant,
+so every derived duration and fraction collapses to exactly ``0.0``.
+
+Why: wall-clock samples are the only intrinsically nondeterministic
+output of the figure drivers.  Zeroing them (while still executing the
+timed code, so side effects and errors are preserved) is what lets the
+golden-figure tests assert *byte-identical* driver output across runs
+and across ``REPRO_JOBS`` worker counts — the determinism contract of
+:mod:`repro.analysis.parallel`.
+
+The flag is read per call so it reaches sweep worker processes through
+their inherited environment and can be flipped by tests at runtime; the
+lookup is two dict probes, far below the cost of anything worth timing.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+__all__ = ["deterministic_timing", "perf_counter"]
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+
+def deterministic_timing() -> bool:
+    """Whether ``REPRO_DETERMINISTIC_TIMING`` requests zeroed timings."""
+    return (
+        os.environ.get("REPRO_DETERMINISTIC_TIMING", "").strip().lower()
+        in _TRUTHY
+    )
+
+
+def perf_counter() -> float:
+    """``time.perf_counter()``, or ``0.0`` in deterministic-timing mode."""
+    if deterministic_timing():
+        return 0.0
+    return time.perf_counter()

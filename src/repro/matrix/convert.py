@@ -18,7 +18,7 @@ addressing benchmarks.
 from __future__ import annotations
 
 import dataclasses
-import time
+from repro import clock
 
 import numpy as np
 
@@ -86,7 +86,7 @@ def to_tiled(
     paper's observation that "the remapping of the individual tiles is
     again amenable to parallel execution".
     """
-    t0 = time.perf_counter()
+    t0 = clock.perf_counter()
     with obs.span(
         "convert.to_tiled", curve=str(curve), method=method,
         parallel=rt is not None, m=tiling.m, n=tiling.n,
@@ -131,7 +131,7 @@ def to_tiled(
         out = TiledMatrix(layout, buf, tiling.m, tiling.n)
         if stats is not None:
             stats.record(
-                layout.n_elements, out.dtype.itemsize, time.perf_counter() - t0
+                layout.n_elements, out.dtype.itemsize, clock.perf_counter() - t0
             )
         return out
 
@@ -141,7 +141,7 @@ def from_tiled(
     stats: ConversionStats | None = None,
 ) -> np.ndarray:
     """Convert back to a dense column-major ``m x n`` array (pad stripped)."""
-    t0 = time.perf_counter()
+    t0 = clock.perf_counter()
     with obs.span("convert.from_tiled", m=tm.m, n=tm.n):
         layout = tm.layout
         flat = np.empty(layout.n_elements, dtype=tm.dtype)
@@ -149,7 +149,7 @@ def from_tiled(
         dense = flat.reshape(layout.rows, layout.cols, order="F")
         out = np.asfortranarray(dense[: tm.m, : tm.n])
         if stats is not None:
-            stats.record(layout.n_elements, tm.dtype.itemsize, time.perf_counter() - t0)
+            stats.record(layout.n_elements, tm.dtype.itemsize, clock.perf_counter() - t0)
         return out
 
 
@@ -166,7 +166,7 @@ def to_dense_padded(
     This is the L_C baseline's "conversion": only padding, no reordering,
     so its cost is charged through the same accounting for fairness.
     """
-    t0 = time.perf_counter()
+    t0 = clock.perf_counter()
     with obs.span("convert.to_dense_padded", m=tiling.m, n=tiling.n, order=order):
         dtype = dtype or a.dtype
         padded = _padded_dense(a, tiling, transpose, dtype)
@@ -174,5 +174,5 @@ def to_dense_padded(
             padded = np.ascontiguousarray(padded)
         out = DenseMatrix(padded, tiling.m, tiling.n, tiling.t_r, tiling.t_c)
         if stats is not None:
-            stats.record(padded.size, out.dtype.itemsize, time.perf_counter() - t0)
+            stats.record(padded.size, out.dtype.itemsize, clock.perf_counter() - t0)
         return out

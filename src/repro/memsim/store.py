@@ -116,6 +116,30 @@ class TraceStore:
         self.stats_hits = self.stats_misses = 0
         self._touched.clear()
 
+    def touched_map(self) -> dict[str, str]:
+        """Copy of the touched-key record (``kind:key`` -> verdict)."""
+        return dict(self._touched)
+
+    def merge_counters(
+        self, counters: dict[str, int], touched: dict[str, str] | None = None
+    ) -> None:
+        """Fold another store's counter delta into this one.
+
+        Sweep workers run against their own :class:`TraceStore` handle
+        (same on-disk root) and ship ``counters()`` / ``touched_map()``
+        back to the parent, which sums them here so cross-process cache
+        behaviour stays observable in reports and manifests.  Touched
+        keys keep first-touch semantics (an existing verdict wins).
+        Metrics are *not* re-published — the workers already published
+        theirs, and the obs merge carries those over separately.
+        """
+        self.trace_hits += int(counters.get("trace_hits", 0))
+        self.trace_misses += int(counters.get("trace_misses", 0))
+        self.stats_hits += int(counters.get("stats_hits", 0))
+        self.stats_misses += int(counters.get("stats_misses", 0))
+        for key, verdict in (touched or {}).items():
+            self._touched.setdefault(key, verdict)
+
     def content_addresses(self) -> list[str]:
         """Touched cache keys (first-touch order) as ``kind:key=hit|miss``."""
         return [f"{key}={verdict}" for key, verdict in self._touched.items()]

@@ -121,6 +121,32 @@ class SpanCollector:
             self._spans.clear()
             self.epoch = time.perf_counter()
 
+    def merge(self, records: list[dict]) -> list[int]:
+        """Adopt span records produced by another collector (typically a
+        sweep worker process), remapping span ids into this collector's
+        id space so parent/child links inside ``records`` survive while
+        never colliding with locally issued ids.  Timestamps stay
+        relative to the originating collector's epoch — durations and
+        counts (what reports aggregate) are unaffected.  Returns the
+        new ids, in input order.
+        """
+        records = list(records)
+        idmap = {
+            rec["id"]: self.next_id()
+            for rec in records
+            if rec.get("id") is not None
+        }
+        adopted = []
+        for rec in records:
+            new = dict(rec)
+            if rec.get("id") is not None:
+                new["id"] = idmap[rec["id"]]
+            new["parent"] = idmap.get(rec.get("parent"))
+            adopted.append(new)
+        with self._lock:
+            self._spans.extend(adopted)
+        return [rec.get("id") for rec in adopted]
+
     def export_jsonl(self, path: str | Path) -> Path:
         """Write one JSON object per finished span; returns the path."""
         path = Path(path)

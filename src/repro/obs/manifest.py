@@ -102,6 +102,7 @@ def build_manifest(
     command: str | None = None,
     argv: list[str] | None = None,
     seed: int | None = None,
+    jobs: int | None = None,
     machine=None,
     store=None,
     extra: dict | None = None,
@@ -109,7 +110,9 @@ def build_manifest(
     """Assemble a provenance manifest for the current process state.
 
     ``store`` defaults to the process-wide trace store; pass ``False``
-    to omit the trace-cache section entirely.
+    to omit the trace-cache section entirely.  ``jobs`` records the
+    sweep worker count the run used (``REPRO_JOBS`` / ``--jobs``), so
+    parallel and serial runs stay distinguishable after the fact.
     """
     if store is None:
         from repro.memsim.store import default_store
@@ -126,6 +129,8 @@ def build_manifest(
     }
     if seed is not None:
         manifest["seed"] = int(seed)
+    if jobs is not None:
+        manifest["jobs"] = int(jobs)
     if machine is not None:
         manifest["machine"] = machine_fingerprint(machine)
     if store:

@@ -87,6 +87,18 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def merge_summary(self, summary: dict) -> None:
+        """Fold another histogram's ``summary()`` dict into this one."""
+        count = int(summary.get("count") or 0)
+        if not count:
+            return
+        self.count += count
+        self.total += float(summary["total"])
+        if summary["min"] < self.min:
+            self.min = float(summary["min"])
+        if summary["max"] > self.max:
+            self.max = float(summary["max"])
+
     def summary(self) -> dict:
         if not self.count:
             return {"count": 0, "total": 0.0, "min": None, "max": None, "mean": 0.0}
@@ -139,6 +151,18 @@ class MetricsRegistry:
                     k: self._histograms[k].summary() for k in sorted(self._histograms)
                 },
             }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` from another registry (typically a
+        sweep worker process) into this one: counters add, gauges take
+        the incoming value (last writer wins), histograms merge their
+        count/total/min/max summaries."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, summary in snapshot.get("histograms", {}).items():
+            self.histogram(name).merge_summary(summary)
 
     def reset(self) -> None:
         with self._lock:

@@ -28,6 +28,16 @@ def assert_race_free():
     return check
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/*.json from the current figure drivers "
+             "instead of asserting against them",
+    )
+
+
 def pytest_configure(config):
     config.addinivalue_line("markers", "slow: long-running test")
 

@@ -1,0 +1,99 @@
+"""Golden-figure regression tests: the sweep drivers are deterministic.
+
+Small-grid outputs of the fig4/fig5/fig6/fig6sim drivers are committed
+as JSON under ``tests/golden/``.  Each test regenerates its grid with
+``REPRO_DETERMINISTIC_TIMING=1`` (wall-clock fields collapse to 0.0 —
+everything else is exact simulation) and asserts the serialized rows are
+*byte-identical* to the golden file — first serially, then under
+``REPRO_JOBS=2`` and ``REPRO_JOBS=4`` process pools, which proves the
+parallel executor's determinism contract end to end: same rows, same
+order, same bytes, regardless of worker count or completion order.
+
+Regenerate after an intentional modeling change with::
+
+    python -m pytest tests/test_golden_figures.py --update-golden
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.experiments import (
+    fig4_tile_size_sweep,
+    fig5_robustness,
+    fig6_layout_comparison,
+    fig6_simulated,
+)
+from repro.matrix.tile import TileRange
+from repro.memsim.machine import scaled
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+MACH = scaled(4)
+
+#: name -> driver thunk; every thunk takes only ``jobs`` so the serial
+#: and parallel tests run the exact same grid.
+CASES = {
+    "fig4": lambda jobs: fig4_tile_size_sweep(
+        n=32, tiles=(4, 8), repeats=1, machine=MACH, include_memsim=True,
+        jobs=jobs,
+    ),
+    "fig5": lambda jobs: fig5_robustness(
+        n_values=(56, 60, 64), tile=8, machine=MACH, jobs=jobs,
+    ),
+    "fig6": lambda jobs: fig6_layout_comparison(
+        n=32, algorithms=("strassen",), layouts=("LZ", "LH"), procs=(1, 2),
+        trange=TileRange(8, 16), repeats=1, jobs=jobs,
+    ),
+    "fig6sim": lambda jobs: fig6_simulated(
+        n=48, tile=8, algorithms=("standard", "strassen"),
+        layouts=("LC", "LZ"), machine=MACH, jobs=jobs,
+    ),
+}
+
+
+def _serialize(rows) -> bytes:
+    return (json.dumps(rows, indent=2, sort_keys=True) + "\n").encode()
+
+
+@pytest.fixture(autouse=True)
+def _deterministic_timing(monkeypatch):
+    # Workers inherit os.environ, so the flag reaches the pool too.
+    monkeypatch.setenv("REPRO_DETERMINISTIC_TIMING", "1")
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_golden_serial(name, request):
+    """Serial driver output matches the committed golden bytes."""
+    blob = _serialize(CASES[name](1))
+    path = GOLDEN_DIR / f"{name}.json"
+    if request.config.getoption("--update-golden"):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(blob)
+        pytest.skip(f"updated {path}")
+    assert path.exists(), (
+        f"missing golden file {path}; run with --update-golden to create it"
+    )
+    assert path.read_bytes() == blob, (
+        f"{name} driver output drifted from {path}; if the change is "
+        f"intentional, rerun with --update-golden"
+    )
+
+
+@pytest.mark.parametrize("jobs", [2, 4])
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_golden_parallel(name, jobs, request):
+    """Process-pool output is byte-identical to the golden (serial) bytes."""
+    if request.config.getoption("--update-golden"):
+        pytest.skip("golden files update from the serial run only")
+    path = GOLDEN_DIR / f"{name}.json"
+    assert path.exists(), f"missing golden file {path}"
+    assert path.read_bytes() == _serialize(CASES[name](jobs))
+
+
+def test_seconds_fields_zeroed_under_deterministic_timing():
+    """The flag really does zero every wall-clock-derived field."""
+    rows = CASES["fig4"](1)
+    assert all(r["seconds"] == 0.0 for r in rows)
+    assert all(r["conversion_fraction"] == 0.0 for r in rows)
