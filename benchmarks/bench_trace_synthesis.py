@@ -1,0 +1,75 @@
+"""Symbolic trace synthesis vs the executed tracer.
+
+Times both trace sources over the fig6sim-style grid (trace generation
+plus expansion to the byte-address stream) and reports the per-pair
+speedup table.  The synthesized stream is asserted byte-identical to
+the executed one on every timed pair, so the speedup is never bought
+with a modeling change.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import register_table
+from repro.analysis.report import format_table
+from repro.layouts.registry import PAPER_LAYOUTS
+from repro.memsim.machine import scaled
+from repro.memsim.synthesis import expand_table, synthesize_multiply
+from repro.memsim.trace import expand_trace, trace_multiply
+
+N = 96
+TILE = 8
+MACH = scaled(4)
+
+
+def _executed(algorithm, layout):
+    events, sizes = trace_multiply(algorithm, layout, N, TILE)
+    return expand_trace(events, MACH, sizes)
+
+
+def _synthesized(algorithm, layout):
+    table, sizes = synthesize_multiply(algorithm, layout, N, TILE)
+    return expand_table(table, MACH, sizes)
+
+
+@pytest.mark.parametrize("layout", ("LC", "LZ", "LH"))
+@pytest.mark.parametrize("algorithm", ("standard", "strassen"))
+def test_synthesized_trace(benchmark, algorithm, layout):
+    got = benchmark(_synthesized, algorithm, layout)
+    assert np.array_equal(got, _executed(algorithm, layout))
+
+
+@pytest.mark.parametrize("algorithm", ("standard", "strassen"))
+def test_executed_trace_reference(benchmark, algorithm):
+    benchmark(_executed, algorithm, "LZ")
+
+
+def test_speedup_table(benchmark):
+    import time
+
+    def grid():
+        rows = []
+        for algorithm in ("standard", "strassen"):
+            for layout in PAPER_LAYOUTS:
+                t0 = time.perf_counter()
+                ref = _executed(algorithm, layout)
+                t_exec = time.perf_counter() - t0
+                t0 = time.perf_counter()
+                got = _synthesized(algorithm, layout)
+                t_syn = time.perf_counter() - t0
+                assert np.array_equal(ref, got)
+                rows.append(
+                    [algorithm, layout, f"{t_exec:.3f}", f"{t_syn:.3f}",
+                     f"{t_exec / t_syn:.1f}x", ref.size]
+                )
+        return rows
+
+    rows = benchmark.pedantic(grid, rounds=1, iterations=1)
+    register_table(
+        f"Trace synthesis vs executed tracer (n={N}, tile={TILE})",
+        format_table(
+            ["algorithm", "layout", "executed (s)", "synthesized (s)",
+             "speedup", "addresses"],
+            rows,
+        ),
+    )

@@ -28,6 +28,8 @@ Environment:
 * ``SMOKE_SPEEDUP_FLOOR`` — required engine-vs-reference speedup
   (default 10).  Lower it when benchmarking on loaded/1-core hosts
   where the ratio is noisy; CI keeps the default.
+* ``SMOKE_SYNTHESIS_FLOOR`` — required symbolic-trace-synthesis vs
+  executed-tracer speedup on the fig6sim grid (default 5).
 """
 
 from __future__ import annotations
@@ -40,11 +42,14 @@ import time
 import numpy as np
 
 from repro.analysis.parallel import fig4_points, run_sweep
+from repro.layouts.registry import PAPER_LAYOUTS
 from repro.memsim.cache import LRUCache, simulate_direct_mapped
 from repro.memsim.engines import lru_hit_mask, simulate_set_associative
 from repro.memsim.hierarchy import simulate_hierarchy
 from repro.memsim.machine import CacheGeometry, modern_like, ultrasparc_like
 from repro.memsim.store import cached_multiply_trace, default_store
+from repro.memsim.synthesis import expand_table, synthesize_multiply
+from repro.memsim.trace import expand_trace, trace_multiply
 from repro.obs.manifest import build_manifest
 
 N = 256
@@ -206,6 +211,61 @@ def main() -> None:
                 f"{name}: {speedup}x < required {floor}x vs reference"
             )
         print(f"speedup floor {floor}x: OK")
+
+    # Symbolic trace synthesis vs the executed tracer, over the fig6sim
+    # grid (both algorithms x all six paper layouts): same byte streams
+    # (asserted), wall-clock dominated by event generation + expansion.
+    synth_grid = [
+        (alg, lay) for alg in ("standard", "strassen") for lay in PAPER_LAYOUTS
+    ]
+    synth_n, synth_tile = 48, 8
+
+    def run_executed():
+        total = 0
+        for alg, lay in synth_grid:
+            events, sizes = trace_multiply(alg, lay, synth_n, synth_tile)
+            total += expand_trace(events, mach, sizes).size
+        return total
+
+    def run_synthesized():
+        n_events = 0
+        digests = []
+        for alg, lay in synth_grid:
+            table, sizes = synthesize_multiply(alg, lay, synth_n, synth_tile)
+            n_events += table.n_events
+            digests.append(expand_table(table, mach, sizes))
+        return n_events, digests
+
+    executed_seconds, _ = timed(run_executed, repeats=2)
+    synth_seconds, (synth_events, synth_streams) = timed(run_synthesized, repeats=2)
+    for (alg, lay), got in zip(synth_grid[:2], synth_streams[:2]):
+        events, sizes = trace_multiply(alg, lay, synth_n, synth_tile)
+        assert np.array_equal(got, expand_trace(events, mach, sizes)), (
+            f"synthesized trace diverged from executed for {alg}/{lay}"
+        )
+    synth_speedup = executed_seconds / synth_seconds
+    results["trace_synthesis"] = {
+        "grid": [f"{alg}/{lay}" for alg, lay in synth_grid],
+        "n": synth_n,
+        "tile": synth_tile,
+        "events": synth_events,
+        "events_per_sec": round(synth_events / synth_seconds),
+        "executed_seconds": round(executed_seconds, 3),
+        "synthesized_seconds": round(synth_seconds, 3),
+        "speedup": round(synth_speedup, 2),
+    }
+    print(
+        f"trace synthesis (fig6sim grid, {len(synth_grid)} points): "
+        f"executed {executed_seconds:.3f}s, synthesized {synth_seconds:.3f}s, "
+        f"{synth_speedup:.2f}x, "
+        f"{results['trace_synthesis']['events_per_sec']:,d} events/s"
+    )
+    synth_floor = float(os.environ.get("SMOKE_SYNTHESIS_FLOOR", "5"))
+    assert synth_speedup >= synth_floor, (
+        f"trace synthesis: {synth_speedup:.2f}x < required {synth_floor}x "
+        f"vs executed tracer"
+    )
+    print(f"trace synthesis speedup floor {synth_floor}x: OK")
 
     # Parallel sweep executor: serial vs process-pool wall time over a
     # warm-cache fig4 sweep (the trace store is pre-warmed so both runs

@@ -333,6 +333,12 @@ def _cmd_report(args) -> None:
     print(obs.render_report())
     out_dir = obs.obs_output_dir()
     trace_path = obs.collector().export_jsonl(out_dir / "spans.jsonl")
+    if args.top_spans:
+        # Read the table back from the JSONL export so the file on disk
+        # is the source of truth for the hotspot numbers.
+        print()
+        print(obs.render_top_spans(obs.load_spans_jsonl(trace_path),
+                                   limit=args.top_spans))
     manifest = obs.build_manifest(command="report", jobs=args.jobs,
                                   extra={"run": run})
     manifest_path = obs.write_manifest(out_dir / "manifests" / "report.json", manifest)
@@ -466,6 +472,10 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--jobs", "-j", type=int, default=None,
                    help="set REPRO_JOBS for the nested subcommand "
                         "(sweep worker processes)")
+    s.add_argument("--top-spans", type=int, default=0, metavar="N",
+                   help="also print the N hottest span names by self "
+                        "time (span duration minus direct children), "
+                        "computed from the exported spans.jsonl")
     s.set_defaults(fn=_cmd_report, fresh=True)
 
     s = sub.add_parser("gemm", help="run one dgemm and show its cost breakdown")

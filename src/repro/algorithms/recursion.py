@@ -28,9 +28,21 @@ class Context:
     system tracer (:mod:`repro.memsim.trace`) overrides to harvest the
     exact sequence of leaf operations and streamed additions, with their
     operand views, without touching the algorithms.
+
+    ``executes`` distinguishes contexts whose operands carry real data
+    from descriptor-only contexts (the symbolic trace synthesizer in
+    :mod:`repro.memsim.synthesis`): when it is ``False`` the helpers
+    below skip every data-moving operation — leaf kernels, streamed
+    additions, copies — and emit only the cost annotations and record
+    hooks, so the algorithms' spawn/recording structure runs unchanged
+    over operands that are pure region descriptors.
     """
 
     __slots__ = ("rt", "kernel")
+
+    #: Whether operand views carry real data (descriptor-only contexts
+    #: override this to False).
+    executes: bool = True
 
     def __init__(self, rt: Runtime | None = None, kernel="blas"):
         self.rt = rt or SerialRuntime()
@@ -46,16 +58,17 @@ class Context:
 def leaf_multiply(ctx: Context, c: MatrixView, a: MatrixView, b: MatrixView,
                   accumulate: bool) -> None:
     """Bottom of the recursion: ``C (+)= A . B`` on single tiles."""
-    ca, aa, ba = c.leaf_array(), a.leaf_array(), b.leaf_array()
-    ctx.kernel(ca, aa, ba, accumulate)
-    ctx.rt.task_multiply(aa.shape[0], aa.shape[1], ba.shape[1])
+    if ctx.executes:
+        ctx.kernel(c.leaf_array(), a.leaf_array(), b.leaf_array(), accumulate)
+    ctx.rt.task_multiply(a.rows, a.cols, b.cols)
     ctx.record_leaf(c, a, b)
 
 
 def stream_add(ctx: Context, x: MatrixView, y: MatrixView, out: MatrixView,
                subtract: bool = False) -> MatrixView:
     """``out = x ± y`` with cost annotation."""
-    add_views(x, y, out, subtract=subtract)
+    if ctx.executes:
+        add_views(x, y, out, subtract=subtract)
     ctx.rt.task_stream(out.rows * out.cols)
     ctx.record_stream(out, x, y)
     return out
@@ -80,15 +93,17 @@ def combine(
     idx = 0
     if not accumulate:
         if len(terms) == 1:
-            from repro.matrix.quadrant import copy_view
+            if ctx.executes:
+                from repro.matrix.quadrant import copy_view
 
-            copy_view(terms[0], c)
+                copy_view(terms[0], c)
             ctx.rt.task_stream(c.rows * c.cols)
             ctx.record_stream(c, terms[0])
             return
         stream_add(ctx, terms[0], terms[1], c, subtract=(signs[1] < 0))
         idx = 2
     for t, s in zip(terms[idx:], signs[idx:]):
-        iadd_views(c, t, subtract=(s < 0))
+        if ctx.executes:
+            iadd_views(c, t, subtract=(s < 0))
         ctx.rt.task_stream(c.rows * c.cols)
         ctx.record_stream(c, c, t)

@@ -34,7 +34,7 @@ from repro.algorithms.recursion import Context, leaf_multiply, stream_add
 from repro.matrix.quadrant import iadd_views, zero_view
 from repro.matrix.tiledmatrix import MatrixView
 
-__all__ = ["strassen_space_saving"]
+__all__ = ["strassen_space_saving", "strassen_space_level"]
 
 
 def strassen_space_saving(
@@ -46,7 +46,7 @@ def strassen_space_saving(
 ) -> None:
     """Sequential ``C (+)= A . B`` with interspersed adds, 3 temps/level."""
     ctx = ctx or Context()
-    if not accumulate:
+    if not accumulate and ctx.executes:
         zero_view(c)
     _recurse(ctx, c, a, b)
 
@@ -56,6 +56,14 @@ def _recurse(ctx: Context, c, a, b) -> None:
     if c.is_leaf:
         leaf_multiply(ctx, c, a, b, accumulate=True)
         return
+    strassen_space_level(ctx, c, a, b, _recurse)
+
+
+def strassen_space_level(ctx: Context, c, a, b, product_recursion) -> None:
+    """One space-saving level; ``product_recursion(ctx, p, x, y)``
+    computes each product into the freshly zeroed temporary ``p``
+    (always accumulating — same hook shape as the other ``*_level``
+    functions, minus the accumulate flag the sequential variant fixes)."""
     c11, c12, c21, c22 = c.quadrants()
     a11, a12, a21, a22 = a.quadrants()
     b11, b12, b21, b22 = b.quadrants()
@@ -65,10 +73,12 @@ def _recurse(ctx: Context, c, a, b) -> None:
     p = c11.alloc_like()
 
     def product(x, y, *contributions):
-        zero_view(p)
-        _recurse(ctx, p, x, y)
+        if ctx.executes:
+            zero_view(p)
+        product_recursion(ctx, p, x, y)
         for target, subtract in contributions:
-            iadd_views(target, p, subtract=subtract)
+            if ctx.executes:
+                iadd_views(target, p, subtract=subtract)
             ctx.rt.task_stream(target.rows * target.cols)
 
     # P1

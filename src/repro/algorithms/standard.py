@@ -18,7 +18,7 @@ from __future__ import annotations
 from repro.algorithms.recursion import Context, combine, leaf_multiply
 from repro.matrix.tiledmatrix import MatrixView
 
-__all__ = ["standard_multiply"]
+__all__ = ["standard_multiply", "standard_level"]
 
 
 def standard_multiply(
@@ -40,13 +40,26 @@ def _recurse(ctx: Context, c, a, b, accumulate: bool, mode: str) -> None:
     if c.is_leaf:
         leaf_multiply(ctx, c, a, b, accumulate)
         return
+
+    def product_recursion(ctx_, cq, aq, bq, acc):
+        _recurse(ctx_, cq, aq, bq, acc, mode)
+
+    standard_level(ctx, c, a, b, accumulate, mode, product_recursion)
+
+
+def standard_level(ctx: Context, c, a, b, accumulate: bool, mode: str,
+                   product_recursion) -> None:
+    """One standard level; ``product_recursion(ctx, cq, aq, bq, accumulate)``
+    computes each of the eight products (same hook shape as
+    ``strassen_level`` / ``winograd_level``, used by the symbolic trace
+    synthesizer to intercept the recursion)."""
     c11, c12, c21, c22 = c.quadrants()
     a11, a12, a21, a22 = a.quadrants()
     b11, b12, b21, b22 = b.quadrants()
 
     if mode == "accumulate":
         rec = lambda cq, aq, bq, acc: (  # noqa: E731 - local shorthand
-            lambda: _recurse(ctx, cq, aq, bq, acc, mode)
+            lambda: product_recursion(ctx, cq, aq, bq, acc)
         )
         # Phase 1: the four "first" products, possibly overwriting C.
         ctx.rt.spawn_all(
@@ -83,7 +96,7 @@ def _recurse(ctx: Context, c, a, b, accumulate: bool, mode: str) -> None:
     temps = [c11.alloc_like() for _ in pairs]
 
     def product(p, aq, bq):
-        return lambda: _recurse(ctx, p, aq, bq, False, mode)
+        return lambda: product_recursion(ctx, p, aq, bq, False)
 
     ctx.rt.spawn_all([product(p, aq, bq) for p, (aq, bq) in zip(temps, pairs)])
     p1, p2, p3, p4, p5, p6, p7, p8 = temps

@@ -47,13 +47,19 @@ def leaf_sixloop(c: np.ndarray, a: np.ndarray, b: np.ndarray,
     """``C (+)= A @ B`` as k rank-1 updates (vectorized 6-loop analog).
 
     Mirrors the paper's hand-written kernel: streams columns of A against
-    rows of B, accumulating into C, one k-slice at a time.
+    rows of B, accumulating into C, one k-slice at a time.  The rank-1
+    update lands in one preallocated scratch tile (``np.multiply.outer``
+    would otherwise allocate a fresh temporary per k step); the
+    accumulation order — and hence the Figure-7 tier result — is
+    unchanged.
     """
     instrument.count_leaf_multiply(a.shape[0], a.shape[1], b.shape[1])
     if not accumulate:
         c[...] = 0.0
+    scratch = np.empty_like(c, order="F")
     for kk in range(a.shape[1]):
-        c += np.multiply.outer(a[:, kk], b[kk, :])
+        np.multiply.outer(a[:, kk], b[kk, :], out=scratch)
+        c += scratch
 
 
 def leaf_unrolled(c: np.ndarray, a: np.ndarray, b: np.ndarray,

@@ -40,6 +40,13 @@ import numpy as np
 from repro import obs
 from repro.memsim.hierarchy import MemoryStats, simulate_hierarchy
 from repro.memsim.machine import MachineModel
+from repro.memsim.synthesis import (
+    EventTable,
+    UnsupportedSynthesis,
+    expand_table,
+    synthesis_enabled,
+    synthesize_multiply,
+)
 from repro.memsim.synthetic import (
     blocked_canonical_events,
     dense_standard_events,
@@ -288,7 +295,20 @@ def _multiply_fields(algorithm, layout, n, tile, mode, depth) -> dict:
 
 
 def _multiply_builder(algorithm, layout, n, tile, machine, mode, depth):
+    # Symbolic synthesis and the executed tracer produce byte-identical
+    # streams (property-tested), so the flag does not enter the cache
+    # key and _STORE_VERSION stays put: either path may fill a slot the
+    # other reads.
     def build():
+        if synthesis_enabled():
+            try:
+                table, sizes = synthesize_multiply(
+                    algorithm, layout, n, tile, mode=mode, depth=depth
+                )
+            except UnsupportedSynthesis:
+                pass
+            else:
+                return expand_table(table, machine, sizes)
         events, sizes = trace_multiply(
             algorithm, layout, n, tile, mode=mode, depth=depth
         )
@@ -339,6 +359,18 @@ def cached_multiply_stats(
     )
 
 
+def _synthetic_builder(source: str, machine: MachineModel, params: dict):
+    def build():
+        events = _SYNTHETIC_SOURCES[source](**params)
+        if synthesis_enabled():
+            # Same addresses either way; the array representation just
+            # expands vectorized instead of event-by-event.
+            return expand_table(EventTable.from_events(events), machine)
+        return expand_trace(events, machine)
+
+    return build
+
+
 def _synthetic_fields(source: str, params: dict) -> dict:
     if source not in _SYNTHETIC_SOURCES:
         raise KeyError(
@@ -363,7 +395,7 @@ def cached_synthetic_trace(
     """
     store = store or default_store()
     fields = _synthetic_fields(source, params)
-    build = lambda: expand_trace(_SYNTHETIC_SOURCES[source](**params), machine)
+    build = _synthetic_builder(source, machine, params)
     return store.trace(fields, machine, build)
 
 
@@ -378,5 +410,5 @@ def cached_synthetic_stats(
     """Memoized hierarchy simulation of a synthetic event source."""
     store = store or default_store()
     fields = _synthetic_fields(source, params)
-    build = lambda: expand_trace(_SYNTHETIC_SOURCES[source](**params), machine)
+    build = _synthetic_builder(source, machine, params)
     return store.stats(fields, machine, include_tlb, build)

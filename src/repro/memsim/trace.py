@@ -298,7 +298,17 @@ def expand_trace_chunks(
     million-access traces never materialize whole.  Feed the chunks to
     :class:`repro.memsim.hierarchy.HierarchySimulator` for bounded-
     memory simulation.
+
+    ``events`` may also be a :class:`repro.memsim.synthesis.EventTable`
+    (the structure-of-arrays representation the symbolic synthesizer
+    emits); it expands through the vectorized path to the byte-identical
+    chunk sequence.
     """
+    from repro.memsim.synthesis import EventTable, expand_table_chunks
+
+    if isinstance(events, EventTable):
+        yield from expand_table_chunks(events, machine, space_sizes, max_elements)
+        return
     aspace = AddressSpace(machine)
     sizes = space_sizes or {}
     bases: dict[int, int] = {}

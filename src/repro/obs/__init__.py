@@ -30,7 +30,12 @@ from repro.obs.core import (
 )
 from repro.obs.manifest import build_manifest, obs_output_dir, write_manifest
 from repro.obs.metrics import MetricsRegistry, add, gauge, observe, registry
-from repro.obs.report import render_report
+from repro.obs.report import (
+    load_spans_jsonl,
+    render_report,
+    render_top_spans,
+    top_spans,
+)
 
 __all__ = [
     "NULL_SPAN",
@@ -41,11 +46,14 @@ __all__ = [
     "collector",
     "enabled",
     "gauge",
+    "load_spans_jsonl",
     "observe",
     "obs_output_dir",
     "registry",
     "render_report",
+    "render_top_spans",
     "reset",
+    "top_spans",
     "set_enabled",
     "span",
     "write_manifest",

@@ -2,13 +2,76 @@
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 from repro.obs import core, metrics
 
-__all__ = ["render_report"]
+__all__ = ["load_spans_jsonl", "render_report", "render_top_spans", "top_spans"]
 
 
 def _section(title: str) -> list[str]:
     return [title, "-" * len(title)]
+
+
+def load_spans_jsonl(path) -> list[dict]:
+    """Read span records back from a ``spans.jsonl`` export."""
+    records = []
+    with open(Path(path)) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def top_spans(spans: list[dict]) -> list[tuple[str, int, float, float]]:
+    """Aggregate spans per name as ``(name, count, total_s, self_s)``,
+    hottest self-time first.
+
+    Self time is a span's duration minus the durations of its direct
+    children (by the ``id``/``parent`` links), i.e. the time actually
+    spent at that level rather than delegated — the number that ranks
+    hotspots honestly when spans nest.
+    """
+    child_time: dict[int, float] = {}
+    for rec in spans:
+        parent = rec.get("parent")
+        if parent is not None:
+            child_time[parent] = child_time.get(parent, 0.0) + rec.get("dur", 0.0)
+    agg: dict[str, list] = {}
+    for rec in spans:
+        name = rec.get("name", "?")
+        dur = rec.get("dur", 0.0)
+        row = agg.setdefault(name, [0, 0.0, 0.0])
+        row[0] += 1
+        row[1] += dur
+        row[2] += dur - child_time.get(rec.get("id"), 0.0)
+    rows = [(name, c, total, self_t) for name, (c, total, self_t) in agg.items()]
+    rows.sort(key=lambda r: (-r[3], r[0]))
+    return rows
+
+
+def render_top_spans(spans: list[dict], limit: int = 10) -> str:
+    """Self-time hotspot table of the ``limit`` hottest span names."""
+    rows = top_spans(spans)
+    lines = _section(f"top spans by self time (showing {min(limit, len(rows))}"
+                     f" of {len(rows)})")
+    if not rows:
+        lines.append("(none recorded — is REPRO_OBS enabled?)")
+        return "\n".join(lines)
+    total_self = sum(r[3] for r in rows) or 1.0
+    shown = rows[:limit]
+    width = max(max(len(r[0]) for r in shown), len("span"))
+    lines.append(
+        f"{'span':<{width}}  {'count':>7}  {'total s':>10}  {'self s':>10}  {'self%':>6}"
+    )
+    for name, count, total, self_t in shown:
+        lines.append(
+            f"{name:<{width}}  {count:>7d}  {total:>10.4f}  {self_t:>10.4f}  "
+            f"{self_t / total_self:>6.1%}"
+        )
+    return "\n".join(lines)
 
 
 def render_report(store=None) -> str:

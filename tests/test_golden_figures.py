@@ -92,6 +92,33 @@ def test_golden_parallel(name, jobs, request):
     assert path.read_bytes() == _serialize(CASES[name](jobs))
 
 
+#: The memsim-backed figures: their traces come from the symbolic
+#: synthesizer by default, from the executed tracer when it is off.
+SIM_CASES = ("fig4", "fig5", "fig6sim")
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+@pytest.mark.parametrize("synthesis", ["1", "0"])
+@pytest.mark.parametrize("name", SIM_CASES)
+def test_golden_synthesis_toggle(name, synthesis, jobs, monkeypatch, request):
+    """Goldens hold byte-identical with trace synthesis on (default) and
+    off (executed-tracer oracle), serially and under a 2-worker pool.
+
+    The trace cache is disabled so each leg really computes its traces
+    through the selected path instead of reading the other leg's bytes.
+    """
+    if request.config.getoption("--update-golden"):
+        pytest.skip("golden files update from the serial run only")
+    from repro.memsim import store as store_mod
+
+    monkeypatch.setenv("REPRO_TRACE_SYNTHESIS", synthesis)
+    monkeypatch.setenv("REPRO_TRACE_CACHE", "0")
+    monkeypatch.setattr(store_mod, "_DEFAULT", None)
+    path = GOLDEN_DIR / f"{name}.json"
+    assert path.exists(), f"missing golden file {path}"
+    assert path.read_bytes() == _serialize(CASES[name](jobs))
+
+
 def test_seconds_fields_zeroed_under_deterministic_timing():
     """The flag really does zero every wall-clock-derived field."""
     rows = CASES["fig4"](1)
