@@ -1,135 +1,27 @@
 #!/usr/bin/env python
-"""Repo-specific AST lint: invariants a generic linter cannot express.
+"""Back-compat shim over :mod:`repro.lint`.
 
-Rules
------
-
-I1  The scalar reference cache simulators (``simulate_lru``,
-    ``LRUCache``) must not be *called* outside the cache module itself,
-    the vectorized engines that validate against them, tests, and the
-    perf smoke script.  Everything else must go through the vectorized
-    engines (:mod:`repro.memsim.engines`) — a scalar simulator call on a
-    hot path silently turns an O(n) sweep into hours.
-
-I2  ``np.argsort`` / ``np.sort`` in order-sensitive modules
-    (``repro.memsim``, ``repro.sanitize``) must pass ``kind="stable"``.
-    These modules reconstruct per-line / per-region access runs from
-    sorted program order; an unstable sort reorders equal keys and
-    corrupts ownership-transition and race-pair counts
-    nondeterministically.
+.. deprecated::
+    The repo-specific AST lint now lives in the importable, unit-tested
+    :mod:`repro.lint` package (rules I1-I5, registry, JSON reporter) and
+    is surfaced as ``python -m repro lint``.  This script remains only
+    so existing CI invocations of ``python scripts/lint_invariants.py``
+    keep working; it delegates straight to :func:`repro.lint.main` with
+    identical exit semantics (non-zero iff violations).
 
 Usage::
 
     python scripts/lint_invariants.py [repo_root]
-
-Exits non-zero iff any violation is found.  Run by CI next to ruff.
 """
 
 from __future__ import annotations
 
-import ast
 import sys
 from pathlib import Path
 
-#: Files allowed to call the scalar reference simulators (I1).
-SCALAR_SIM_ALLOWED = {
-    Path("src/repro/memsim/cache.py"),
-    Path("src/repro/memsim/engines.py"),
-    Path("scripts/perf_smoke.py"),
-}
-SCALAR_SIM_ALLOWED_DIRS = (Path("tests"), Path("benchmarks"))
-SCALAR_SIM_NAMES = {"simulate_lru", "LRUCache"}
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-#: Directories whose sorts must be stable (I2).
-STABLE_SORT_DIRS = (Path("src/repro/memsim"), Path("src/repro/sanitize"))
-STABLE_SORT_FUNCS = {"argsort", "sort"}
-NUMPY_MODULE_NAMES = {"np", "numpy"}
-
-
-def _is_under(path: Path, dirs) -> bool:
-    return any(d == path or d in path.parents for d in dirs)
-
-
-def _called_name(call: ast.Call) -> str | None:
-    """Trailing identifier of the called expression, if recognizable."""
-    fn = call.func
-    if isinstance(fn, ast.Name):
-        return fn.id
-    if isinstance(fn, ast.Attribute):
-        return fn.attr
-    return None
-
-
-def _is_numpy_attr_call(call: ast.Call) -> bool:
-    fn = call.func
-    return (
-        isinstance(fn, ast.Attribute)
-        and isinstance(fn.value, ast.Name)
-        and fn.value.id in NUMPY_MODULE_NAMES
-    )
-
-
-def _has_stable_kind(call: ast.Call) -> bool:
-    for kw in call.keywords:
-        if kw.arg == "kind":
-            return isinstance(kw.value, ast.Constant) and kw.value.value == "stable"
-    return False
-
-
-def lint_file(root: Path, rel: Path) -> list[str]:
-    """All violations in one file, as ``path:line: message`` strings."""
-    try:
-        tree = ast.parse((root / rel).read_text(), filename=str(rel))
-    except SyntaxError as exc:
-        return [f"{rel}:{exc.lineno or 0}: I0 syntax error: {exc.msg}"]
-
-    problems: list[str] = []
-    check_scalar_sim = not (
-        rel in SCALAR_SIM_ALLOWED or _is_under(rel, SCALAR_SIM_ALLOWED_DIRS)
-    )
-    check_stable_sort = _is_under(rel, STABLE_SORT_DIRS)
-
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.Call):
-            continue
-        name = _called_name(node)
-        if check_scalar_sim and name in SCALAR_SIM_NAMES:
-            problems.append(
-                f"{rel}:{node.lineno}: I1 call to scalar reference "
-                f"simulator {name}() outside the cache/engines/tests "
-                f"allowlist; use repro.memsim.engines instead"
-            )
-        if (
-            check_stable_sort
-            and name in STABLE_SORT_FUNCS
-            and _is_numpy_attr_call(node)
-            and not _has_stable_kind(node)
-        ):
-            problems.append(
-                f"{rel}:{node.lineno}: I2 np.{name} without kind=\"stable\" "
-                f"in an order-sensitive module; equal keys must keep "
-                f"program order"
-            )
-    return problems
-
-
-def main(argv: list[str]) -> int:
-    root = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parent.parent
-    problems: list[str] = []
-    for sub in ("src", "scripts", "benchmarks"):
-        base = root / sub
-        if not base.is_dir():
-            continue
-        for path in sorted(base.rglob("*.py")):
-            problems.extend(lint_file(root, path.relative_to(root)))
-    for p in problems:
-        print(p)
-    if problems:
-        print(f"{len(problems)} invariant violation(s)", file=sys.stderr)
-        return 1
-    print("lint_invariants: OK")
-    return 0
-
+from repro.lint import main  # noqa: E402
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv))
+    sys.exit(main(sys.argv[1:]))

@@ -19,6 +19,8 @@ Examples::
     python -m repro gemm --m 300 --k 200 --n 250 --algorithm hybrid
     python -m repro trace --algorithm strassen --workers 4
     python -m repro report --run fig2 --order 2
+    python -m repro staticcheck --algorithm hybrid --layout LH
+    python -m repro lint --select I3 --select I5
 
 Every run drops a provenance manifest (git SHA, seed, machine
 fingerprint, trace-cache content addresses) under
@@ -32,7 +34,7 @@ import sys
 
 import numpy as np
 
-from repro import obs
+from repro import knobs, obs
 from repro.analysis import (
     ascii_plot,
     conversion_accounting,
@@ -251,6 +253,66 @@ def _cmd_sanitize(args) -> None:
         raise SystemExit(1)
 
 
+def _cmd_staticcheck(args) -> None:
+    from repro.algorithms.dgemm import ALGORITHMS
+    from repro.layouts.registry import RECURSIVE_LAYOUTS
+    from repro.sanitize import resolve_layout
+    from repro.staticcheck import (
+        default_depth,
+        reports_to_json,
+        staticcheck_multiply,
+    )
+
+    algorithms = [args.algorithm] if args.algorithm else sorted(ALGORITHMS)
+    layouts = (
+        [resolve_layout(args.layout)] if args.layout
+        else list(RECURSIVE_LAYOUTS) + ["LC"]
+    )
+    reports = [
+        staticcheck_multiply(alg, lay, depth=args.depth, mode=args.mode)
+        for alg in algorithms for lay in layouts
+    ]
+    if args.json:
+        print(reports_to_json(reports))
+    else:
+        depth = args.depth if args.depth is not None else default_depth()
+        print(format_table(
+            ["algorithm", "layout", "events", "tasks", "races",
+             "templates", "rep scans", "verdict"],
+            [[r.algorithm, r.layout, r.n_events, r.n_tasks, r.n_race_pairs,
+              r.n_signatures, r.n_rep_scans,
+              "PROVED" if r.ok else ("RACY" if r.races else "UNCERTIFIED")]
+             for r in reports],
+            f"Static determinacy verification (symbolic n, depth={depth})",
+        ))
+        bad = [r for r in reports if not r.ok]
+        if args.proofs or bad:
+            for r in (reports if args.proofs else bad):
+                print()
+                print(r.proof())
+        elif reports:
+            print(f"\nall race-free for every n in "
+                  f"[{reports[0].shape_class}]")
+    if not all(r.ok for r in reports):
+        raise SystemExit(1)
+
+
+def _cmd_lint(args) -> None:
+    from pathlib import Path
+
+    from repro.lint import render_text, report_to_json, run_lint
+
+    try:
+        report = run_lint(
+            root=Path(args.root) if args.root else None, select=args.select
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    print(report_to_json(report) if args.json else render_text(report))
+    if not report.ok:
+        raise SystemExit(1)
+
+
 def _cmd_gemm(args) -> None:
     from repro import dgemm
 
@@ -331,6 +393,8 @@ def _cmd_report(args) -> None:
     sub.fn(sub)
     print()
     print(obs.render_report())
+    print()
+    print(knobs.render_effective())
     out_dir = obs.obs_output_dir()
     trace_path = obs.collector().export_jsonl(out_dir / "spans.jsonl")
     if args.top_spans:
@@ -477,6 +541,36 @@ def build_parser() -> argparse.ArgumentParser:
                         "time (span duration minus direct children), "
                         "computed from the exported spans.jsonl")
     s.set_defaults(fn=_cmd_report, fresh=True)
+
+    s = sub.add_parser(
+        "staticcheck",
+        help="statically prove race-freedom of the recursion at symbolic n",
+    )
+    s.add_argument("--algorithm", "-a", default=None,
+                   help="algorithm name (default: all registered algorithms)")
+    s.add_argument("--layout", "-l", default=None,
+                   help="layout name or alias (default: all recursive + LC)")
+    s.add_argument("--depth", type=int, default=None,
+                   help="symbolic unroll depth "
+                        "(default: REPRO_STATICCHECK_DEPTH, else 4)")
+    s.add_argument("--mode", default="accumulate",
+                   help="standard algorithm spawn structure (accumulate|temps)")
+    s.add_argument("--proofs", action="store_true",
+                   help="print the full proof statement for every pair")
+    s.add_argument("--json", action="store_true",
+                   help="emit the JSON sweep report (the CI artifact format)")
+    s.set_defaults(fn=_cmd_staticcheck)
+
+    s = sub.add_parser(
+        "lint",
+        help="repo-specific AST invariants I1-I5 (repro.lint)",
+    )
+    s.add_argument("--root", default=None, help="repository root to scan")
+    s.add_argument("--select", action="append", default=None, metavar="RULE",
+                   help="run only these rules (repeatable, e.g. --select I3)")
+    s.add_argument("--json", action="store_true",
+                   help="emit the JSON report instead of text")
+    s.set_defaults(fn=_cmd_lint)
 
     s = sub.add_parser("gemm", help="run one dgemm and show its cost breakdown")
     s.add_argument("--m", type=int, default=300)

@@ -51,7 +51,7 @@ from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
 
-from repro import obs
+from repro import knobs, obs
 from repro.algorithms.dgemm import dgemm
 from repro.analysis.timing import measure
 from repro.matrix.tile import TileRange
@@ -209,15 +209,8 @@ def _worker_call(point: SweepPoint) -> dict:
 def resolve_jobs(jobs: int | None = None) -> int:
     """Worker count: explicit arg > ``REPRO_JOBS`` > ``os.cpu_count()``."""
     if jobs is None:
-        env = os.environ.get("REPRO_JOBS", "").strip()
-        if env:
-            try:
-                jobs = int(env)
-            except ValueError:
-                raise ValueError(
-                    f"REPRO_JOBS must be an integer, got {env!r}"
-                ) from None
-        else:
+        jobs = knobs.integer("REPRO_JOBS")
+        if jobs is None:
             jobs = os.cpu_count() or 1
     jobs = int(jobs)
     if jobs < 1:

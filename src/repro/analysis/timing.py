@@ -27,10 +27,9 @@ from __future__ import annotations
 
 import dataclasses
 import statistics
-import time
 from typing import Callable
 
-from repro import obs
+from repro import clock, obs
 from repro.clock import deterministic_timing
 
 __all__ = ["Measurement", "deterministic_timing", "measure"]
@@ -68,9 +67,9 @@ def measure(fn: Callable[[], object], repeats: int = 3, warmup: int = 1) -> Meas
         fn()
     times = []
     for _ in range(repeats):
-        t0 = time.perf_counter()
+        t0 = clock.perf_counter()
         fn()
-        times.append(time.perf_counter() - t0)
+        times.append(clock.perf_counter() - t0)
     obs.add("timing.measure_calls")
     obs.observe("timing.repeats", repeats)
     obs.observe("timing.median_seconds", statistics.median(times))

@@ -4,9 +4,10 @@ Every wall-clock number the repo emits — ``measure()`` samples, the
 per-phase timings inside :func:`repro.algorithms.dgemm.dgemm`, the
 conversion accounting in :mod:`repro.matrix.convert` — flows through
 :func:`perf_counter` here instead of calling ``time.perf_counter``
-directly.  Normally that is a pass-through.  With
-``REPRO_DETERMINISTIC_TIMING`` set truthy, the clock returns a constant,
-so every derived duration and fraction collapses to exactly ``0.0``.
+directly (the repo lint, rule **I3**, enforces that).  Normally that is
+a pass-through.  With ``REPRO_DETERMINISTIC_TIMING`` set truthy, the
+clock returns a constant, so every derived duration and fraction
+collapses to exactly ``0.0``.
 
 Why: wall-clock samples are the only intrinsically nondeterministic
 output of the figure drivers.  Zeroing them (while still executing the
@@ -15,6 +16,17 @@ golden-figure tests assert *byte-identical* driver output across runs
 and across ``REPRO_JOBS`` worker counts — the determinism contract of
 :mod:`repro.analysis.parallel`.
 
+Two escape hatches exist for consumers whose timestamps are *meant* to
+stay real even in deterministic mode, and they live here so the lint
+allowlist stays a single module:
+
+* :func:`raw_perf_counter` — always the real monotonic clock.  Used by
+  the obs span collector: spans are diagnostics (where did the run
+  spend time?), and zeroing them would erase exactly the signal
+  ``repro report --top-spans`` exists to show.
+* :func:`wall_clock` — real ``time.time``.  Used only for provenance
+  timestamps in run manifests, which are documentation, not data.
+
 The flag is read per call so it reaches sweep worker processes through
 their inherited environment and can be flipped by tests at runtime; the
 lookup is two dict probes, far below the cost of anything worth timing.
@@ -22,20 +34,16 @@ lookup is two dict probes, far below the cost of anything worth timing.
 
 from __future__ import annotations
 
-import os
 import time
 
-__all__ = ["deterministic_timing", "perf_counter"]
+from repro import knobs
 
-_TRUTHY = {"1", "true", "yes", "on"}
+__all__ = ["deterministic_timing", "perf_counter", "raw_perf_counter", "wall_clock"]
 
 
 def deterministic_timing() -> bool:
     """Whether ``REPRO_DETERMINISTIC_TIMING`` requests zeroed timings."""
-    return (
-        os.environ.get("REPRO_DETERMINISTIC_TIMING", "").strip().lower()
-        in _TRUTHY
-    )
+    return knobs.flag("REPRO_DETERMINISTIC_TIMING")
 
 
 def perf_counter() -> float:
@@ -43,3 +51,17 @@ def perf_counter() -> float:
     if deterministic_timing():
         return 0.0
     return time.perf_counter()
+
+
+def raw_perf_counter() -> float:
+    """The real monotonic clock, regardless of deterministic mode.
+
+    For diagnostics (obs spans, throughput gauges) whose whole point is
+    the real elapsed time; never feed this into figure-driver output.
+    """
+    return time.perf_counter()
+
+
+def wall_clock() -> float:
+    """Real ``time.time()``: provenance timestamps only."""
+    return time.time()

@@ -1,0 +1,228 @@
+"""Central registry of ``REPRO_*`` environment knobs.
+
+Every environment variable the library reads is *declared* here — name,
+type, default, and a one-line doc — and read through the typed accessors
+(:func:`flag` / :func:`integer` / :func:`path` / :func:`raw`).  This is
+the only module allowed to touch ``os.environ`` directly; the repo lint
+(:mod:`repro.lint`, rule **I5**) enforces that, and rule **I4** enforces
+that any ``REPRO_*`` name mentioned anywhere in the source tree has a
+declaration below.  The payoff is a single place where ``python -m
+repro report`` can dump the *effective* configuration of a run
+(:func:`effective` / :func:`render_effective`) and provenance manifests
+can pin it.
+
+Flag parsing is uniform: a set value is truthy iff it is one of
+``{"1", "true", "yes", "on"}`` (case-insensitive, stripped); an unset
+variable takes the declared default.  The environment stays the source
+of truth — accessors re-read it on every call, so flags flipped by
+tests or inherited by sweep worker processes behave identically to
+direct ``os.environ`` reads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+__all__ = [
+    "Knob",
+    "REGISTRY",
+    "declare",
+    "declared_names",
+    "effective",
+    "flag",
+    "integer",
+    "path",
+    "raw",
+    "render_effective",
+]
+
+#: Accepted spellings of a truthy flag value.
+TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+#: Knob value kinds, for documentation and the effective-config dump.
+KINDS = ("flag", "int", "str", "path")
+
+
+@dataclasses.dataclass(frozen=True)
+class Knob:
+    """Declaration of one environment knob."""
+
+    name: str
+    kind: str  # one of KINDS
+    default: bool | int | str | None
+    doc: str
+
+    def parse(self, value: str | None) -> bool | int | str | None:
+        """Effective typed value for a raw environment string."""
+        if value is None or not value.strip():
+            return self.default
+        value = value.strip()
+        if self.kind == "flag":
+            return value.lower() in TRUTHY
+        if self.kind == "int":
+            try:
+                return int(value)
+            except ValueError:
+                raise ValueError(
+                    f"{self.name} must be an integer, got {value!r}"
+                ) from None
+        return value
+
+
+#: All declared knobs, by name.
+REGISTRY: dict[str, Knob] = {}
+
+
+def declare(name: str, kind: str, default: bool | int | str | None, doc: str) -> Knob:
+    """Register one knob declaration (module-load time only)."""
+    if kind not in KINDS:
+        raise ValueError(f"unknown knob kind {kind!r}; known: {KINDS}")
+    if name in REGISTRY:
+        raise ValueError(f"knob {name} declared twice")
+    knob = Knob(name, kind, default, doc)
+    REGISTRY[name] = knob
+    return knob
+
+
+# ---------------------------------------------------------------------------
+# Declarations — the canonical list of every REPRO_* environment knob.
+# ---------------------------------------------------------------------------
+
+declare(
+    "REPRO_OBS",
+    "flag",
+    False,
+    "Enable the observability layer (spans + metrics) at process start; "
+    "`python -m repro report` turns it on programmatically.",
+)
+declare(
+    "REPRO_OBS_DIR",
+    "path",
+    None,
+    "Directory for obs artifacts (span JSONL, manifests, schedule traces); "
+    "default: <repo>/.benchmarks/obs.",
+)
+declare(
+    "REPRO_JOBS",
+    "int",
+    None,
+    "Sweep worker process count for the figure drivers "
+    "(1 = exact serial path; default: os.cpu_count()).",
+)
+declare(
+    "REPRO_DETERMINISTIC_TIMING",
+    "flag",
+    False,
+    "Zero every wall-clock measurement (timed code still runs) so driver "
+    "output is byte-identical across runs and worker counts.",
+)
+declare(
+    "REPRO_TRACE_SYNTHESIS",
+    "flag",
+    True,
+    "Derive address traces symbolically (repro.memsim.synthesis); set to "
+    "0 to fall back to the executed-trace oracle everywhere.",
+)
+declare(
+    "REPRO_TRACE_CACHE",
+    "flag",
+    True,
+    "Use the content-addressed on-disk trace/stats cache; set to 0 to "
+    "recompute everything and touch no cache files.",
+)
+declare(
+    "REPRO_TRACE_CACHE_DIR",
+    "path",
+    None,
+    "Root directory of the trace cache; default: "
+    "<repo>/.benchmarks/tracecache.",
+)
+declare(
+    "REPRO_STATICCHECK_DEPTH",
+    "int",
+    4,
+    "Default symbolic unroll depth for `python -m repro staticcheck` "
+    "(the self-similarity certification needs >= 2).",
+)
+
+
+# ---------------------------------------------------------------------------
+# Typed accessors — the only os.environ read sites in the library.
+# ---------------------------------------------------------------------------
+
+
+def _knob(name: str) -> Knob:
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"undeclared knob {name!r}; declare it in repro.knobs first "
+            f"(known: {sorted(REGISTRY)})"
+        ) from None
+
+
+def raw(name: str) -> str | None:
+    """Raw environment string of a declared knob (None when unset)."""
+    _knob(name)
+    return os.environ.get(name)
+
+
+def flag(name: str) -> bool:
+    """Effective boolean value of a declared flag knob."""
+    knob = _knob(name)
+    if knob.kind != "flag":
+        raise TypeError(f"knob {name} is {knob.kind}-kind, not flag")
+    return bool(knob.parse(raw(name)))
+
+
+def integer(name: str) -> int | None:
+    """Effective integer value of a declared int knob (None = unset)."""
+    knob = _knob(name)
+    if knob.kind != "int":
+        raise TypeError(f"knob {name} is {knob.kind}-kind, not int")
+    value = knob.parse(raw(name))
+    return None if value is None else int(value)
+
+
+def path(name: str) -> str | None:
+    """Effective path/string value of a declared knob (None = unset)."""
+    knob = _knob(name)
+    if knob.kind not in ("path", "str"):
+        raise TypeError(f"knob {name} is {knob.kind}-kind, not path/str")
+    value = knob.parse(raw(name))
+    return None if value is None else str(value)
+
+
+def declared_names() -> frozenset[str]:
+    """Names of every declared knob (the rule-I4 ground truth)."""
+    return frozenset(REGISTRY)
+
+
+def effective() -> dict[str, dict[str, object]]:
+    """Effective configuration snapshot: every knob's raw and parsed
+    value plus whether it came from the environment or the default."""
+    out: dict[str, dict[str, object]] = {}
+    for name in sorted(REGISTRY):
+        knob = REGISTRY[name]
+        value = raw(name)
+        out[name] = {
+            "kind": knob.kind,
+            "raw": value,
+            "value": knob.parse(value),
+            "source": "env" if value is not None else "default",
+            "doc": knob.doc,
+        }
+    return out
+
+
+def render_effective() -> str:
+    """Human-readable effective-config table for ``repro report``."""
+    rows = effective()
+    name_w = max(len(n) for n in rows)
+    lines = ["effective knobs (source: env | default):"]
+    for name, info in rows.items():
+        lines.append(
+            f"  {name:<{name_w}}  {str(info['value']):<10} [{info['source']}]"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,32 @@
+"""`repro.lint` — the pluggable repo-specific AST lint (rules I1-I5).
+
+Importable successor of ``scripts/lint_invariants.py`` (now a shim).
+See :mod:`repro.lint.core` for the framework and
+:mod:`repro.lint.rules` for the invariants themselves.
+"""
+
+from repro.lint.core import (
+    LintReport,
+    Rule,
+    Violation,
+    all_rules,
+    main,
+    register,
+    render_text,
+    repo_root,
+    report_to_json,
+    run_lint,
+)
+
+__all__ = [
+    "LintReport",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "main",
+    "register",
+    "render_text",
+    "repo_root",
+    "report_to_json",
+    "run_lint",
+]

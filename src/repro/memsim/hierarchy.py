@@ -27,11 +27,11 @@ Two entry points:
 from __future__ import annotations
 
 import dataclasses
-import time
 
 import numpy as np
 
 from repro import obs
+from repro.clock import raw_perf_counter
 from repro.memsim.cache import simulate_direct_mapped
 from repro.memsim.engines import (
     lru_hit_mask,
@@ -115,7 +115,7 @@ def simulate_hierarchy(
     n = int(addresses.size)
     if n == 0:
         return MemoryStats(0, 0, 0, 0, 0.0)
-    t0 = time.perf_counter() if obs.enabled() else 0.0
+    t0 = raw_perf_counter() if obs.enabled() else 0.0
     if machine.l1.assoc == 1:
         l1_miss_mask = simulate_direct_mapped(addresses, machine.l1)
     else:
@@ -134,7 +134,7 @@ def simulate_hierarchy(
         + tlb_misses * machine.tlb_miss
     )
     if obs.enabled():
-        elapsed = time.perf_counter() - t0
+        elapsed = raw_perf_counter() - t0
         if elapsed > 0:
             obs.gauge("memsim.events_per_sec", n / elapsed)
         obs.observe("memsim.simulate_seconds", elapsed)

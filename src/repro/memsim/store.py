@@ -37,7 +37,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import obs
+from repro import knobs, obs
 from repro.memsim.hierarchy import MemoryStats, simulate_hierarchy
 from repro.memsim.machine import MachineModel
 from repro.memsim.synthesis import (
@@ -90,9 +90,9 @@ class TraceStore:
 
     def __init__(self, root: str | Path | None = None, enabled: bool | None = None):
         if enabled is None:
-            enabled = os.environ.get("REPRO_TRACE_CACHE", "1") != "0"
+            enabled = knobs.flag("REPRO_TRACE_CACHE")
         if root is None:
-            root = os.environ.get("REPRO_TRACE_CACHE_DIR") or (
+            root = knobs.path("REPRO_TRACE_CACHE_DIR") or (
                 _repo_root() / ".benchmarks" / "tracecache"
             )
         self.root = Path(root)

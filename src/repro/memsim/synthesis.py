@@ -37,11 +37,10 @@ algorithm x layout pair).
 from __future__ import annotations
 
 import dataclasses
-import os
 
 import numpy as np
 
-from repro import obs
+from repro import knobs, obs
 from repro.algorithms.recursion import Context, leaf_multiply
 from repro.algorithms.spacesaving import strassen_space_level
 from repro.algorithms.standard import standard_level
@@ -59,10 +58,13 @@ from repro.memsim.trace import (
 
 __all__ = [
     "EventTable",
+    "SPEC_BUILDERS",
+    "SpaceAlloc",
     "SymQuadView",
     "SymDenseView",
     "SynthesisContext",
     "UnsupportedSynthesis",
+    "expand_level",
     "expand_table",
     "expand_table_chunks",
     "synthesis_enabled",
@@ -89,7 +91,7 @@ def synthesis_enabled() -> bool:
     the two are byte-identical, so this is purely a speed/verification
     knob.
     """
-    return os.environ.get("REPRO_TRACE_SYNTHESIS", "1") != "0"
+    return knobs.flag("REPRO_TRACE_SYNTHESIS")
 
 
 # ---------------------------------------------------------------------------
@@ -242,8 +244,8 @@ class EventTable:
 # ---------------------------------------------------------------------------
 
 
-class _SpaceAlloc:
-    """Issues sequential buffer-space ids for one synthesis run."""
+class SpaceAlloc:
+    """Issues sequential buffer-space ids for one symbolic run."""
 
     __slots__ = ("next_id",)
 
@@ -439,10 +441,10 @@ class SynthesisContext(Context):
 
     __slots__ = ("templates", "alloc", "_segments", "_rows")
 
-    def __init__(self, templates: dict | None = None, alloc: _SpaceAlloc | None = None):
+    def __init__(self, templates: dict | None = None, alloc: SpaceAlloc | None = None):
         super().__init__(None, kernel=_sym_noop_kernel)
         self.templates = {} if templates is None else templates
-        self.alloc = alloc or _SpaceAlloc()
+        self.alloc = alloc or SpaceAlloc()
         self._segments: list[EventTable] = []
         self._rows: list[tuple] = []
 
@@ -525,7 +527,7 @@ def _base_of(v) -> int:
     return v.off
 
 
-def _rebased(v, slot: int, alloc: _SpaceAlloc):
+def _rebased(v, slot: int, alloc: SpaceAlloc):
     """Slot-relative clone of a view: space -> slot id, origin -> 0."""
     if isinstance(v, SymQuadView):
         return SymQuadView(
@@ -534,30 +536,35 @@ def _rebased(v, slot: int, alloc: _SpaceAlloc):
     return SymDenseView(alloc, v.t_r, v.t_c, slot, v.ld, 0, v.rows, v.cols)
 
 
-def _expand_level(ctx: SynthesisContext, spec: tuple, c, a, b, accumulate: bool) -> None:
-    """Emit one recursion level of ``spec``, descending into products
-    through the memoizer."""
+def expand_level(ctx: Context, spec: tuple, c, a, b, accumulate: bool, descend) -> None:
+    """Emit one recursion level of ``spec`` against symbolic operands.
+
+    ``descend(ctx, spec, c, a, b, accumulate)`` is called for each child
+    product: synthesis passes its memoizing :func:`_descend`, while the
+    static verifier (:mod:`repro.staticcheck`) passes a plain recursive
+    driver so every task is materialized in the SP tree.
+    """
     name = spec[0]
     if name == "standard":
         mode = spec[1]
         standard_level(
             ctx, c, a, b, accumulate, mode,
-            lambda ctx_, cq, aq, bq, acc: _descend(ctx_, spec, cq, aq, bq, acc),
+            lambda ctx_, cq, aq, bq, acc: descend(ctx_, spec, cq, aq, bq, acc),
         )
     elif name == "strassen":
         strassen_level(
             ctx, c, a, b, accumulate,
-            lambda ctx_, p, x, y, acc: _descend(ctx_, spec, p, x, y, acc),
+            lambda ctx_, p, x, y, acc: descend(ctx_, spec, p, x, y, acc),
         )
     elif name == "winograd":
         winograd_level(
             ctx, c, a, b, accumulate,
-            lambda ctx_, p, x, y, acc: _descend(ctx_, spec, p, x, y, acc),
+            lambda ctx_, p, x, y, acc: descend(ctx_, spec, p, x, y, acc),
         )
     elif name == "strassen_space":
         strassen_space_level(
             ctx, c, a, b,
-            lambda ctx_, p, x, y: _descend(ctx_, spec, p, x, y, True),
+            lambda ctx_, p, x, y: descend(ctx_, spec, p, x, y, True),
         )
     elif name == "hybrid":
         fast, remaining = spec[1], spec[2]
@@ -569,7 +576,7 @@ def _expand_level(ctx: SynthesisContext, spec: tuple, c, a, b, accumulate: bool)
         level = strassen_level if fast == "strassen" else winograd_level
         level(
             ctx, c, a, b, accumulate,
-            lambda ctx_, p, x, y, acc: _descend(ctx_, child, p, x, y, acc),
+            lambda ctx_, p, x, y, acc: descend(ctx_, child, p, x, y, acc),
         )
     else:  # pragma: no cover - _spec_for rejects unknown names first
         raise UnsupportedSynthesis(name)
@@ -594,9 +601,9 @@ def _descend(ctx: SynthesisContext, spec: tuple, c, a, b, accumulate: bool) -> N
     tpl = ctx.templates.get(key)
     if tpl is None:
         n_slots = len(slot_of)
-        sub = SynthesisContext(ctx.templates, _SpaceAlloc(n_slots))
+        sub = SynthesisContext(ctx.templates, SpaceAlloc(n_slots))
         rebased = [_rebased(v, slot_of[v.space], sub.alloc) for v in operands]
-        _expand_level(sub, spec, rebased[0], rebased[1], rebased[2], accumulate)
+        expand_level(sub, spec, rebased[0], rebased[1], rebased[2], accumulate, _descend)
         tpl = _Template(sub.build(), n_slots, sub.alloc.next_id - n_slots)
         ctx.templates[key] = tpl
         obs.add("memsim.synthesis.template_builds")
@@ -611,7 +618,7 @@ def _descend(ctx: SynthesisContext, spec: tuple, c, a, b, accumulate: bool) -> N
     ctx.emit_template(tpl, slot_spaces, slot_bases)
 
 
-_SPEC_BUILDERS = {
+SPEC_BUILDERS = {
     # Keep in sync with repro.algorithms.dgemm.ALGORITHMS and the
     # kwargs run_traced_multiply passes (mode for standard only; hybrid
     # runs with its registry defaults fast="strassen", fast_levels=1).
@@ -640,11 +647,11 @@ def synthesize_multiply(
     algorithms without a spec (callers fall back to the executed path).
     """
     try:
-        spec = _SPEC_BUILDERS[algorithm](mode)
+        spec = SPEC_BUILDERS[algorithm](mode)
     except KeyError:
         raise UnsupportedSynthesis(
             f"no synthesis spec for algorithm {algorithm!r}; "
-            f"known: {sorted(_SPEC_BUILDERS)}"
+            f"known: {sorted(SPEC_BUILDERS)}"
         ) from None
     if spec[0] == "hybrid" and spec[2] <= 0:
         spec = ("standard", "accumulate")

@@ -29,10 +29,11 @@ from __future__ import annotations
 
 import itertools
 import json
-import os
 import threading
-import time
 from pathlib import Path
+
+from repro import knobs
+from repro.clock import raw_perf_counter
 
 __all__ = [
     "NULL_SPAN",
@@ -43,11 +44,9 @@ __all__ = [
     "span",
 ]
 
-_TRUTHY = {"1", "true", "yes", "on"}
-
 
 def _env_enabled() -> bool:
-    return os.environ.get("REPRO_OBS", "").strip().lower() in _TRUTHY
+    return knobs.flag("REPRO_OBS")
 
 
 class _NullSpan:
@@ -77,7 +76,7 @@ class SpanCollector:
         self._spans: list[dict] = []
         self._ids = itertools.count(1)
         self._stacks = threading.local()
-        self.epoch = time.perf_counter()
+        self.epoch = raw_perf_counter()
 
     # -- per-thread parent stack --------------------------------------
 
@@ -119,7 +118,7 @@ class SpanCollector:
         """Drop all finished spans and restart the epoch."""
         with self._lock:
             self._spans.clear()
-            self.epoch = time.perf_counter()
+            self.epoch = raw_perf_counter()
 
     def merge(self, records: list[dict]) -> list[int]:
         """Adopt span records produced by another collector (typically a
@@ -182,11 +181,11 @@ class LiveSpan:
         self._parent = stack[-1] if stack else None
         self._id = coll.next_id()
         stack.append(self._id)
-        self._t0 = time.perf_counter()
+        self._t0 = raw_perf_counter()
         return self
 
     def __exit__(self, *exc) -> bool:
-        t1 = time.perf_counter()
+        t1 = raw_perf_counter()
         coll = self._collector
         stack = coll._stack()
         if stack and stack[-1] == self._id:

@@ -28,9 +28,10 @@ import os
 import platform
 import subprocess
 import sys
-import time
 from pathlib import Path
 
+from repro import knobs
+from repro.clock import wall_clock
 from repro.obs import core, metrics
 
 __all__ = [
@@ -55,7 +56,7 @@ def _repo_root() -> Path:
 
 def obs_output_dir() -> Path:
     """Directory for obs artifacts (traces, manifests, reports)."""
-    env = os.environ.get("REPRO_OBS_DIR")
+    env = knobs.path("REPRO_OBS_DIR")
     return Path(env) if env else _repo_root() / ".benchmarks" / "obs"
 
 
@@ -120,12 +121,15 @@ def build_manifest(
         store = default_store()
     manifest: dict = {
         "schema_version": MANIFEST_SCHEMA_VERSION,
-        "created_unix": time.time(),
+        "created_unix": wall_clock(),
         "command": command,
         "argv": list(argv if argv is not None else sys.argv),
         "python": sys.version.split()[0],
         "platform": platform.platform(),
         "git": git_revision(),
+        "knobs": {
+            name: info["value"] for name, info in knobs.effective().items()
+        },
     }
     if seed is not None:
         manifest["seed"] = int(seed)

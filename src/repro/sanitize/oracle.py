@@ -21,6 +21,7 @@ integer comparison per order, vectorizable over millions of pairs.
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.runtime.task import SPNode
 
@@ -35,7 +36,7 @@ class SPOracle:
     parallelism queries over rank arrays.
     """
 
-    def __init__(self, root: SPNode):
+    def __init__(self, root: SPNode) -> None:
         self.root = root
         english: dict[int, int] = {}
         stack: list[SPNode] = [root]
@@ -47,7 +48,7 @@ class SPOracle:
                 n_leaves += 1
                 continue
             stack.extend(reversed(node.children))
-        hebrew = np.zeros(n_leaves, dtype=np.int64)
+        hebrew: npt.NDArray[np.int64] = np.zeros(n_leaves, dtype=np.int64)
         stack = [root]
         rank = 0
         while stack:
@@ -61,8 +62,8 @@ class SPOracle:
                 stack.extend(node.children)
             else:
                 stack.extend(reversed(node.children))
-        self._english = english
-        self.hebrew = hebrew
+        self._english: dict[int, int] = english
+        self.hebrew: npt.NDArray[np.int64] = hebrew
 
     @property
     def n_leaves(self) -> int:
@@ -73,13 +74,18 @@ class SPOracle:
         """English rank of a leaf task (KeyError if not in this tree)."""
         return self._english[id(task)]
 
-    def parallel(self, a, b) -> np.ndarray:
+    def parallel(
+        self,
+        a: int | list[int] | npt.NDArray[np.int64],
+        b: int | list[int] | npt.NDArray[np.int64],
+    ) -> npt.NDArray[np.bool_]:
         """Elementwise: are leaves of English ranks ``a`` and ``b``
         logically parallel?  Broadcasts like numpy; a leaf is serial
         with itself."""
-        a = np.asarray(a, dtype=np.int64)
-        b = np.asarray(b, dtype=np.int64)
-        return (a < b) != (self.hebrew[a] < self.hebrew[b])
+        ar: npt.NDArray[np.int64] = np.asarray(a, dtype=np.int64)
+        br: npt.NDArray[np.int64] = np.asarray(b, dtype=np.int64)
+        out: npt.NDArray[np.bool_] = (ar < br) != (self.hebrew[ar] < self.hebrew[br])
+        return out
 
     def parallel_scalar(self, u: SPNode, v: SPNode) -> bool:
         """Are two leaf tasks logically parallel?"""

@@ -1,0 +1,154 @@
+"""Descriptor-only recording context for static determinacy analysis.
+
+:class:`StaticTraceContext` is the static twin of
+:class:`repro.memsim.trace.TraceContext`: the algorithms' level
+functions run unchanged against it, but operands are the symbolic views
+of :mod:`repro.memsim.synthesis` (``SymQuadView`` / ``SymDenseView``)
+— pure region descriptors, no buffers, no flops — while a
+:class:`~repro.runtime.cilk.TraceRuntime` still materializes the full
+series-parallel spawn tree.  Each recorded :class:`TraceEvent` therefore
+carries both an exact footprint (write region + read regions, in
+closed form) and an SP-tree task identity, which is precisely what the
+dynamic race detector :func:`repro.sanitize.races.find_conflicts`
+consumes.  Reusing it as the footprint algebra makes every static
+verdict directly cross-checkable against the dynamic scan: same
+``Conflict`` records, same region pairs.
+
+Unlike the synthesizer's :class:`~repro.memsim.synthesis.SynthesisContext`,
+nothing here is memoized — template reuse would collapse distinct
+spawn subtrees onto shared task identities and break the SP oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.algorithms.recursion import Context
+from repro.layouts.base import RecursiveLayout
+from repro.layouts.registry import get_recursive_layout
+from repro.memsim.machine import MachineModel, scaled
+from repro.memsim.synthesis import SpaceAlloc, SymDenseView, SymQuadView
+from repro.memsim.trace import Region, TraceEvent
+from repro.runtime.cilk import CostModel, TraceRuntime
+from repro.sanitize.oracle import SPOracle
+from repro.sanitize.races import ConflictScan, find_conflicts
+
+__all__ = [
+    "StaticTraceContext",
+    "check_events",
+    "sym_region",
+    "sym_root",
+]
+
+#: A symbolic operand view (``SymQuadView`` or ``SymDenseView``).
+SymView = Any
+
+
+def _noop_kernel(c: Any, a: Any, b: Any, accumulate: bool = True) -> None:
+    """Never called: the context is descriptor-only (``executes=False``)."""
+
+
+def sym_region(view: SymView) -> Region:
+    """The :class:`Region` a symbolic view's ``region()`` tuple denotes."""
+    space, start, rows, cols, stride = view.region()
+    return Region(int(space), int(start), int(rows), int(cols), int(stride))
+
+
+class StaticTraceContext(Context):
+    """Records task-attributed :class:`TraceEvent`\\ s from symbolic views.
+
+    ``executes = False`` makes :func:`~repro.algorithms.recursion.leaf_multiply`
+    / ``stream_add`` / ``combine`` skip every data operation while still
+    emitting their runtime cost annotations (which create the SP-tree
+    leaves) and record hooks — the annotation always precedes the hook,
+    so ``rt.current_task()`` identifies the event's task exactly as in
+    the dynamic tracer.
+    """
+
+    executes = False
+
+    __slots__ = ("alloc", "events")
+
+    def __init__(
+        self,
+        rt: TraceRuntime | None = None,
+        alloc: SpaceAlloc | None = None,
+    ) -> None:
+        if rt is None:
+            rt = TraceRuntime(CostModel(spawn=0.0))
+        if not isinstance(rt, TraceRuntime):
+            raise TypeError(
+                f"StaticTraceContext needs a TraceRuntime (got "
+                f"{type(rt).__name__}): static race verdicts require the "
+                f"SP tree"
+            )
+        super().__init__(rt, kernel=_noop_kernel)
+        self.alloc: SpaceAlloc = alloc if alloc is not None else SpaceAlloc()
+        self.events: list[TraceEvent] = []
+
+    def record_leaf(self, c: SymView, a: SymView, b: SymView) -> None:
+        self.events.append(
+            TraceEvent(
+                "mul",
+                sym_region(c),
+                (sym_region(a), sym_region(b)),
+                task=self.rt.current_task(),
+            )
+        )
+
+    def record_stream(self, out: SymView, *operands: SymView) -> None:
+        self.events.append(
+            TraceEvent(
+                "add",
+                sym_region(out),
+                tuple(sym_region(o) for o in operands),
+                task=self.rt.current_task(),
+            )
+        )
+
+
+def sym_root(
+    layout: str,
+    alloc: SpaceAlloc,
+    depth: int,
+    t_r: int = 1,
+    t_c: int | None = None,
+    rows: int | None = None,
+    cols: int | None = None,
+) -> SymView:
+    """A fresh symbolic operand root for one layout.
+
+    ``depth`` is the recursion depth (grid order); ``t_r`` x ``t_c`` the
+    leaf tile.  ``rows`` / ``cols`` override the canonical (``LC``)
+    window shape when mirroring a concrete padded tiling — by default
+    the padded square ``(t_r << depth) x (t_c << depth)``.
+    """
+    t_c = t_r if t_c is None else t_c
+    if layout.upper() == "LC":
+        rows = (t_r << depth) if rows is None else rows
+        cols = (t_c << depth) if cols is None else cols
+        return SymDenseView(alloc, t_r, t_c, alloc.new(), rows, 0, rows, cols)
+    curve = get_recursive_layout(layout)
+    if not isinstance(curve, RecursiveLayout):  # pragma: no cover - registry guard
+        raise TypeError(f"layout {layout!r} is not recursive")
+    return SymQuadView(alloc, curve, t_r, t_c, alloc.new(), 0, depth, 0)
+
+
+def check_events(
+    events: list[TraceEvent],
+    rt: TraceRuntime,
+    machine: MachineModel | None = None,
+    max_reports: int = 64,
+) -> ConflictScan:
+    """Race-scan recorded events against the runtime's SP tree.
+
+    This is the static verifier's footprint algebra: the *same*
+    :func:`~repro.sanitize.races.find_conflicts` interval/overlap scan
+    the dynamic sanitizer runs, applied to symbolically derived events —
+    so static and dynamic findings are comparable record-for-record.
+    """
+    oracle = SPOracle(rt.root)
+    scan: ConflictScan = find_conflicts(
+        events, oracle, machine or scaled(), max_reports
+    )
+    return scan

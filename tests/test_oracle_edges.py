@@ -1,0 +1,148 @@
+"""SP-oracle edge cases + property checks (repro.sanitize.oracle).
+
+The English-Hebrew labeling must agree with the textbook definition —
+two leaves are parallel iff their least common ancestor is a parallel
+node — on every SP-tree shape, including the degenerate ones the
+multiply recursions produce: a single task, fully serial programs, and
+very deep nesting.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.cilk import CostModel, TraceRuntime
+from repro.runtime.task import SPNode, leaf, parallel, series
+from repro.sanitize import SPOracle
+
+
+def lca_parallel(root: SPNode, u: SPNode, v: SPNode) -> bool:
+    """Reference oracle: LCA-walk definition of logical parallelism."""
+    parent: dict[int, SPNode] = {}
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        for child in node.children:
+            parent[id(child)] = node
+            stack.append(child)
+    ancestors = []
+    walk = u
+    while True:
+        ancestors.append(id(walk))
+        if id(walk) not in parent:
+            break
+        walk = parent[id(walk)]
+    on_path = set(ancestors)
+    walk = v
+    while id(walk) not in on_path:
+        walk = parent[id(walk)]
+    return walk.kind == "parallel"
+
+
+def sp_trees(max_leaves: int = 12) -> st.SearchStrategy[SPNode]:
+    """Random SP trees with 1..max_leaves leaves."""
+    return st.recursive(
+        st.just(0).map(lambda _: leaf(1.0)),
+        lambda children: st.tuples(
+            st.sampled_from([series, parallel]),
+            st.lists(children, min_size=2, max_size=3),
+        ).map(lambda t: t[0](*t[1])),
+        max_leaves=max_leaves,
+    )
+
+
+class TestSingleTask:
+    def test_root_is_the_only_leaf(self):
+        node = leaf(1.0)
+        oracle = SPOracle(node)
+        assert oracle.n_leaves == 1
+        assert oracle.row_of(node) == 0
+        assert not oracle.parallel_scalar(node, node)
+
+    def test_single_task_from_runtime(self):
+        rt = TraceRuntime(CostModel(spawn=0.0))
+        rt.task_multiply(4, 4, 4)
+        oracle = SPOracle(rt.root)
+        task = rt.current_task()
+        assert oracle.n_leaves == 1
+        assert not oracle.parallel_scalar(task, task)
+
+
+class TestSerialOnly:
+    def test_flat_series_all_serial(self):
+        leaves = [leaf(1.0) for _ in range(8)]
+        oracle = SPOracle(series(*leaves))
+        rows = np.arange(8)
+        a, b = np.meshgrid(rows, rows)
+        assert not oracle.parallel(a.ravel(), b.ravel()).any()
+
+    def test_serial_runtime_program(self):
+        # A spawn-free program (the strassen_space recursion is one):
+        # every pair of tasks is ordered, so zero parallel pairs.
+        rt = TraceRuntime(CostModel(spawn=0.0))
+        for _ in range(6):
+            rt.task_stream(16)
+        oracle = SPOracle(rt.root)
+        assert oracle.n_leaves == 6
+        rows = np.arange(6)
+        a, b = np.meshgrid(rows, rows)
+        assert not oracle.parallel(a.ravel(), b.ravel()).any()
+
+    def test_hebrew_equals_english_when_serial(self):
+        oracle = SPOracle(series(*[leaf(1.0) for _ in range(5)]))
+        assert list(oracle.hebrew) == list(range(5))
+
+
+class TestMaximalDepth:
+    def test_deep_series_chain(self):
+        # One leaf per level, nested 2000 deep: the labeling must stay
+        # iterative (no RecursionError) and fully serial.
+        root = leaf(1.0)
+        first = root
+        for _ in range(2000):
+            root = series(leaf(1.0), root)
+        oracle = SPOracle(root)
+        assert oracle.n_leaves == 2001
+        assert not oracle.parallel_scalar(first, first)
+        assert not oracle.parallel(0, oracle.n_leaves - 1).any()
+
+    def test_deep_parallel_chain(self):
+        root = leaf(1.0)
+        for _ in range(2000):
+            root = parallel(leaf(1.0), root)
+        oracle = SPOracle(root)
+        assert oracle.n_leaves == 2001
+        assert bool(oracle.parallel(0, 2000))
+
+    def test_complete_parallel_tree(self):
+        def build(depth: int) -> SPNode:
+            if depth == 0:
+                return leaf(1.0)
+            return parallel(build(depth - 1), build(depth - 1))
+
+        oracle = SPOracle(build(8))
+        assert oracle.n_leaves == 256
+        rows = np.arange(256)
+        a, b = np.meshgrid(rows, rows)
+        par = oracle.parallel(a.ravel(), b.ravel()).reshape(256, 256)
+        # All-parallel composition: every distinct pair is parallel.
+        assert par.sum() == 256 * 256 - 256
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(sp_trees())
+    def test_matches_lca_reference(self, root):
+        oracle = SPOracle(root)
+        leaves = list(root.iter_leaves())
+        for i, u in enumerate(leaves):
+            for v in leaves[i + 1:]:
+                expected = lca_parallel(root, u, v)
+                assert oracle.parallel_scalar(u, v) == expected
+                assert oracle.parallel_scalar(v, u) == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(sp_trees())
+    def test_hebrew_is_a_permutation(self, root):
+        oracle = SPOracle(root)
+        assert sorted(oracle.hebrew) == list(range(oracle.n_leaves))

@@ -1,0 +1,228 @@
+"""Static determinacy verifier (repro.staticcheck).
+
+Three layers:
+
+* the tentpole guarantee — every registered algorithm x layout pair
+  PROVED race-free at symbolic n;
+* the seeded-race bridge — the injected W/W and W/R programs from the
+  dynamic sanitizer tests must be flagged *statically* with the same
+  conflicting region pairs the dynamic detector reports;
+* equivalence properties — the symbolically derived trace of a concrete
+  multiply matches the executed tracer event-for-event and
+  task-rank-for-task-rank after buffer-space canonicalization.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.recursion import stream_add
+from repro.matrix.tiledmatrix import TiledMatrix
+from repro.memsim.trace import TraceContext, run_traced_multiply
+from repro.runtime.cilk import CostModel, TraceRuntime
+from repro.sanitize import SPOracle, find_conflicts
+from repro.staticcheck import (
+    StaticTraceContext,
+    all_pairs,
+    check_events,
+    reports_to_json,
+    static_trace,
+    staticcheck_multiply,
+    sym_root,
+)
+
+# Shared across the equivalence properties: the pairs whose traced and
+# symbolic recursions must coincide.
+FAST_PAIRS = [
+    ("standard", "LZ"), ("strassen", "LH"), ("winograd", "LG"),
+    ("hybrid", "LU"), ("strassen_space", "LX"), ("standard", "LC"),
+]
+
+
+def space_order(events):
+    """Buffer-space id -> rank by first appearance in program order."""
+    order = {}
+    for ev in events:
+        for r in (ev.write, *ev.reads):
+            if r.space not in order:
+                order[r.space] = len(order)
+    return order
+
+
+def canon_event(ev, order):
+    def canon(r):
+        return (order[r.space], r.start, r.rows, r.cols, r.col_stride)
+
+    return (ev.kind, canon(ev.write), tuple(canon(r) for r in ev.reads))
+
+
+def conflict_keys(conflicts, order):
+    """Order-independent fingerprints of the conflicting region pairs."""
+    out = set()
+    for c in conflicts:
+        ka = (order[c.region_a.space], c.region_a.start, c.region_a.rows,
+              c.region_a.cols, c.region_a.col_stride)
+        kb = (order[c.region_b.space], c.region_b.start, c.region_b.rows,
+              c.region_b.cols, c.region_b.col_stride)
+        out.add((c.kind, c.access, tuple(sorted((ka, kb)))))
+    return out
+
+
+class TestRegistryProofs:
+    @pytest.mark.parametrize("algorithm,layout", all_pairs())
+    def test_pair_proved_race_free(self, algorithm, layout):
+        report = staticcheck_multiply(algorithm, layout)
+        assert report.ok, report.proof()
+        assert report.race_free and report.certified
+        assert report.n_signatures > 0
+        assert "PROVED" in report.summary()
+        assert "race-free for all n" in report.proof()
+
+    def test_all_pairs_cover_registry(self):
+        pairs = all_pairs()
+        assert len(pairs) == 30
+        assert ("hybrid", "LH") in pairs and ("standard", "LC") in pairs
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(KeyError, match="unknown algorithm"):
+            staticcheck_multiply("schoenhage", "LZ")
+
+    def test_depth_floor_enforced(self):
+        with pytest.raises(ValueError, match="depth must be >= 2"):
+            staticcheck_multiply("standard", "LZ", depth=1)
+
+    def test_json_report_shape(self):
+        reports = [staticcheck_multiply("strassen", "LZ")]
+        data = json.loads(reports_to_json(reports))
+        assert data["ok"] is True
+        (rep,) = data["reports"]
+        assert rep["algorithm"] == "strassen" and rep["layout"] == "LZ"
+        assert rep["n_race_pairs"] == 0 and rep["certified"] is True
+        assert rep["shape_class"].startswith("n = t*2^d")
+
+
+def seeded_dynamic():
+    """TraceRuntime-backed executed context + d=1 LZ quadrants (the
+    dynamic sanitizer tests' seeded fixture)."""
+    rt = TraceRuntime(CostModel(spawn=0.0))
+    ctx = TraceContext(rt)
+    mat = TiledMatrix.zeros("LZ", 1, 4, 4)
+    return rt, ctx, mat.root_view().quadrants()
+
+
+def seeded_static():
+    """The same program over symbolic views — no buffers."""
+    ctx = StaticTraceContext()
+    root = sym_root("LZ", ctx.alloc, 1, 4)
+    return ctx.rt, ctx, root.quadrants()
+
+
+class TestSeededRaceBridge:
+    """Injected races must be caught statically AND agree with the
+    dynamic detector on the conflicting region pairs."""
+
+    @staticmethod
+    def run_ww(rt, ctx, quads):
+        q11, q12, q21, q22 = quads
+        rt.spawn_all([
+            lambda: stream_add(ctx, q12, q21, q11),
+            lambda: stream_add(ctx, q12, q22, q11),  # same dest q11: W/W
+        ])
+
+    @staticmethod
+    def run_wr(rt, ctx, quads):
+        q11, q12, q21, q22 = quads
+        rt.spawn_all([
+            lambda: stream_add(ctx, q12, q22, q11),  # writes q11
+            lambda: stream_add(ctx, q11, q12, q21),  # reads q11: W/R
+        ])
+
+    @pytest.mark.parametrize("program,access", [(run_ww, "W/W"), (run_wr, "W/R")])
+    def test_static_flags_seeded_race(self, program, access):
+        rt, ctx, quads = seeded_static()
+        program.__func__(rt, ctx, quads)
+        scan = check_events(ctx.events, rt)
+        assert scan.n_race_pairs > 0
+        assert any(c.access == access for c in scan.races)
+
+    @pytest.mark.parametrize("program", [run_ww, run_wr])
+    def test_static_and_dynamic_agree_on_region_pairs(self, program):
+        srt, sctx, squads = seeded_static()
+        program.__func__(srt, sctx, squads)
+        static_scan = check_events(sctx.events, srt)
+
+        drt, dctx, dquads = seeded_dynamic()
+        program.__func__(drt, dctx, dquads)
+        dynamic_scan = find_conflicts(
+            dctx.events, SPOracle(drt.root), machine=None
+        )
+
+        static_keys = conflict_keys(static_scan.races, space_order(sctx.events))
+        dynamic_keys = conflict_keys(dynamic_scan.races, space_order(dctx.events))
+        assert static_keys == dynamic_keys and static_keys
+        assert static_scan.n_race_pairs == dynamic_scan.n_race_pairs
+
+    def test_serial_reuse_not_flagged(self):
+        rt, ctx, (q11, q12, q21, q22) = seeded_static()
+        stream_add(ctx, q12, q21, q11)
+        stream_add(ctx, q12, q22, q11)  # same dest, but ordered
+        scan = check_events(ctx.events, rt)
+        assert scan.n_race_pairs == 0
+
+    def test_disjoint_outputs_not_flagged(self):
+        rt, ctx, (q11, q12, q21, q22) = seeded_static()
+        rt.spawn_all([
+            lambda: stream_add(ctx, q11, q22, q12),  # writes q12
+            lambda: stream_add(ctx, q11, q22, q21),  # writes q21
+        ])
+        scan = check_events(ctx.events, rt)
+        assert scan.n_race_pairs == 0
+
+
+class TestStaticTraceEquivalence:
+    """static_trace == executed trace, event-for-event."""
+
+    @pytest.mark.parametrize("algorithm,layout", FAST_PAIRS)
+    def test_events_and_tasks_match(self, algorithm, layout):
+        n, tile = 8, 2
+        events, oracle = static_trace(algorithm, layout, n, tile=tile)
+
+        rt = TraceRuntime(CostModel(spawn=0.0))
+        dctx, _, _ = run_traced_multiply(
+            algorithm, layout, n, tile, ctx=TraceContext(rt)
+        )
+        doracle = SPOracle(rt.root)
+
+        sorder, dorder = space_order(events), space_order(dctx.events)
+        assert [canon_event(e, sorder) for e in events] == [
+            canon_event(e, dorder) for e in dctx.events
+        ]
+        # Task identity: same English rank event-for-event, so the SP
+        # relation any race query sees is identical.
+        assert [oracle.row_of(e.task) for e in events] == [
+            doracle.row_of(e.task) for e in dctx.events
+        ]
+        assert oracle.n_leaves == doracle.n_leaves
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        n=st.integers(min_value=3, max_value=24),
+        pair=st.sampled_from(FAST_PAIRS),
+    )
+    def test_property_random_sizes(self, n, pair):
+        algorithm, layout = pair
+        events, oracle = static_trace(algorithm, layout, n, tile=4)
+        rt = TraceRuntime(CostModel(spawn=0.0))
+        dctx, _, _ = run_traced_multiply(
+            algorithm, layout, n, 4, ctx=TraceContext(rt)
+        )
+        doracle = SPOracle(rt.root)
+        sorder, dorder = space_order(events), space_order(dctx.events)
+        assert [canon_event(e, sorder) for e in events] == [
+            canon_event(e, dorder) for e in dctx.events
+        ]
+        assert [oracle.row_of(e.task) for e in events] == [
+            doracle.row_of(e.task) for e in dctx.events
+        ]

@@ -158,7 +158,7 @@ def _template_count(layout: str, d: int) -> tuple[int, int]:
     """(distinct templates, recorded events) for a standard multiply on
     an exact pow-2 tile grid of order ``d``."""
     from repro.layouts.registry import get_recursive_layout
-    from repro.memsim.synthesis import _SPEC_BUILDERS, SymQuadView, _descend
+    from repro.memsim.synthesis import SPEC_BUILDERS, SymQuadView, _descend
 
     ctx = SynthesisContext()
     curve = get_recursive_layout(layout)
@@ -166,7 +166,7 @@ def _template_count(layout: str, d: int) -> tuple[int, int]:
     def root():
         return SymQuadView(ctx.alloc, curve, 8, 8, ctx.alloc.new(), 0, d, 0)
 
-    _descend(ctx, _SPEC_BUILDERS["standard"]("accumulate"),
+    _descend(ctx, SPEC_BUILDERS["standard"]("accumulate"),
              root(), root(), root(), True)
     return len(ctx.templates), ctx.build().n_events
 
