@@ -48,4 +48,18 @@ def pytest_terminal_summary(terminalreporter):
         )
         tr.write_line(f"provenance manifest: {path}")
     except OSError:
-        pass  # never fail a bench run over provenance bookkeeping
+        manifest = None  # never fail a bench run over provenance bookkeeping
+    # History: one record per bench session on the `benchmarks` stream
+    # (obs metrics + trace-cache counters), same best-effort contract.
+    try:
+        from repro.perf.history import HistoryStore, history_enabled, record_from_obs
+
+        if history_enabled():
+            record = record_from_obs(source="benchmarks", manifest=manifest)
+            if record["metrics"]:
+                hpath = HistoryStore().append(record, stream="benchmarks")
+                tr.write_line(
+                    f"history record: {record['record_id'][:12]} -> {hpath}"
+                )
+    except OSError:
+        pass

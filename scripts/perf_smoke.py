@@ -16,6 +16,12 @@ of work a sweep point pays on a cache miss) is reported alongside.
 Usage::
 
     PYTHONPATH=src python scripts/perf_smoke.py [output.json]
+        [--append-history] [--history-dir DIR]
+
+``--append-history`` also appends the run as one content-addressed
+record to the ``perf_smoke`` stream of the benchmark-history store
+(``.benchmarks/history/``), which feeds the noise-tolerance bands and
+trajectory views of ``python -m repro perf``.
 
 Environment:
 
@@ -34,9 +40,9 @@ Environment:
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
-import sys
 import time
 
 import numpy as np
@@ -83,8 +89,38 @@ def oracle_fa_misses(keys: np.ndarray, capacity: int) -> int:
     return misses
 
 
-def main() -> None:
-    out_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_memsim.json"
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        description="perf smoke test for the vectorized memory-system engines"
+    )
+    parser.add_argument("out", nargs="?", default="BENCH_memsim.json",
+                        help="output JSON path (the 'latest' view)")
+    parser.add_argument("--append-history", action="store_true",
+                        help="also append a content-addressed record to the "
+                             "benchmark-history store (.benchmarks/history/)")
+    parser.add_argument("--history-dir", default=None,
+                        help="history store root (default: "
+                             "REPRO_PERF_HISTORY_DIR, else .benchmarks/history)")
+    return parser.parse_args(argv)
+
+
+def append_history(results: dict, history_dir=None):
+    """One provenance-linked history record for this run; returns
+    ``(record, stream_path)`` or None when the store is disabled."""
+    from repro.perf.history import HistoryStore, history_enabled, record_from_bench
+
+    if not history_enabled():
+        print("history: disabled (REPRO_PERF_HISTORY=0)")
+        return None
+    record = record_from_bench(results, source="perf_smoke")
+    path = HistoryStore(history_dir).append(record, stream="perf_smoke")
+    print(f"history: appended {record['record_id'][:12]} to {path}")
+    return record, path
+
+
+def main(argv=None) -> None:
+    args = parse_args(argv)
+    out_path = args.out
     skip_ref = os.environ.get("SMOKE_SKIP_REFERENCE") == "1"
     mach = ultrasparc_like()
     modern = modern_like()
@@ -320,6 +356,8 @@ def main() -> None:
         json.dump(results, fh, indent=2)
         fh.write("\n")
     print(f"wrote {out_path}")
+    if args.append_history:
+        append_history(results, history_dir=args.history_dir)
 
 
 if __name__ == "__main__":

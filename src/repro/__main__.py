@@ -21,6 +21,9 @@ Examples::
     python -m repro report --run fig2 --order 2
     python -m repro staticcheck --algorithm hybrid --layout LH
     python -m repro lint --select I3 --select I5
+    python -m repro perf check --against BENCH_baseline.json
+    python -m repro perf compare latest BENCH_memsim.json
+    python -m repro perf history trace_synthesis.speedup
 
 Every run drops a provenance manifest (git SHA, seed, machine
 fingerprint, trace-cache content addresses) under
@@ -397,12 +400,32 @@ def _cmd_report(args) -> None:
     print(knobs.render_effective())
     out_dir = obs.obs_output_dir()
     trace_path = obs.collector().export_jsonl(out_dir / "spans.jsonl")
+    try:
+        spans, skipped = obs.read_spans_jsonl(trace_path)
+    except obs.SpanReadError as exc:
+        raise SystemExit(f"report: {exc}") from None
+    if skipped:
+        print(f"\nwarning: skipped {skipped} malformed span line(s) in "
+              f"{trace_path}")
     if args.top_spans:
         # Read the table back from the JSONL export so the file on disk
         # is the source of truth for the hotspot numbers.
         print()
-        print(obs.render_top_spans(obs.load_spans_jsonl(trace_path),
-                                   limit=args.top_spans))
+        print(obs.render_top_spans(spans, limit=args.top_spans))
+    if args.diff:
+        from repro.perf import compare_spans, render_span_diff, span_self_times
+
+        try:
+            base_spans, base_skipped = obs.read_spans_jsonl(args.diff)
+        except obs.SpanReadError as exc:
+            raise SystemExit(f"report: --diff {exc}") from None
+        if base_skipped:
+            print(f"\nwarning: skipped {base_skipped} malformed span "
+                  f"line(s) in {args.diff}")
+        print()
+        print(render_span_diff(compare_spans(
+            span_self_times(base_spans), span_self_times(spans)
+        )))
     manifest = obs.build_manifest(command="report", jobs=args.jobs,
                                   extra={"run": run})
     manifest_path = obs.write_manifest(out_dir / "manifests" / "report.json", manifest)
@@ -540,6 +563,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also print the N hottest span names by self "
                         "time (span duration minus direct children), "
                         "computed from the exported spans.jsonl")
+    s.add_argument("--diff", default=None, metavar="SPANS_JSONL",
+                   help="diff this run's span self-times against a "
+                        "previous spans.jsonl export")
     s.set_defaults(fn=_cmd_report, fresh=True)
 
     s = sub.add_parser(
@@ -561,9 +587,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit the JSON sweep report (the CI artifact format)")
     s.set_defaults(fn=_cmd_staticcheck)
 
+    from repro.perf.cli import add_perf_parser
+
+    add_perf_parser(sub)
+
     s = sub.add_parser(
         "lint",
-        help="repo-specific AST invariants I1-I5 (repro.lint)",
+        help="repo-specific AST invariants I1-I6 (repro.lint)",
     )
     s.add_argument("--root", default=None, help="repository root to scan")
     s.add_argument("--select", action="append", default=None, metavar="RULE",
@@ -584,6 +614,10 @@ def build_parser() -> argparse.ArgumentParser:
     return p
 
 
+#: Sweep subcommands whose obs metrics feed the perf-history store.
+_HISTORY_COMMANDS = frozenset({"fig4", "fig5", "fig6", "fig6sim"})
+
+
 def _write_run_manifest(args, argv: list[str] | None) -> None:
     """Best-effort provenance manifest for the subcommand that just ran."""
     try:
@@ -597,7 +631,23 @@ def _write_run_manifest(args, argv: list[str] | None) -> None:
             obs.obs_output_dir() / "manifests" / f"{args.command}.json", manifest
         )
     except OSError:
-        pass  # read-only checkout etc. — provenance must never fail a run
+        manifest = None  # read-only checkout etc. — must never fail a run
+    if args.command in _HISTORY_COMMANDS and obs.enabled():
+        _append_run_history(args.command, manifest)
+
+
+def _append_run_history(command: str, manifest) -> None:
+    """Append the run's obs metrics to the ``cli`` history stream."""
+    from repro.perf import HistoryStore, history_enabled, record_from_obs
+
+    if not history_enabled():
+        return
+    try:
+        record = record_from_obs(source=f"cli:{command}", manifest=manifest)
+        if record["metrics"]:
+            HistoryStore().append(record, stream="cli")
+    except OSError:
+        pass  # same contract as the manifest: history must never fail a run
 
 
 def main(argv: list[str] | None = None) -> int:

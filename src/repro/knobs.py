@@ -22,12 +22,19 @@ direct ``os.environ`` reads.
 from __future__ import annotations
 
 import dataclasses
+import fnmatch
 import os
 
 __all__ = [
+    "BUDGET_DIRECTIONS",
     "Knob",
+    "PERF_BUDGETS",
+    "PerfBudget",
     "REGISTRY",
+    "budget_for",
     "declare",
+    "declare_budget",
+    "declared_budgets",
     "declared_names",
     "effective",
     "flag",
@@ -145,6 +152,152 @@ declare(
     "Default symbolic unroll depth for `python -m repro staticcheck` "
     "(the self-similarity certification needs >= 2).",
 )
+declare(
+    "REPRO_PERF_HISTORY",
+    "flag",
+    True,
+    "Append a benchmark-history record (repro.perf) after perf_smoke "
+    "runs, CLI sweeps, and bench sessions; set to 0 to keep "
+    ".benchmarks/history untouched.",
+)
+declare(
+    "REPRO_PERF_HISTORY_DIR",
+    "path",
+    None,
+    "Root of the append-only benchmark history store; default: "
+    "<repo>/.benchmarks/history.",
+)
+
+
+# ---------------------------------------------------------------------------
+# Performance budgets — the `perf_budgets` table behind `repro perf check`.
+#
+# Each entry declares, for one flattened BENCH_memsim.json metric key (or
+# an fnmatch pattern over keys), which direction is "better" and how much
+# regression in the bad direction the gate tolerates before failing.
+# Direction "exact" marks *structural* metrics (event counts, stream
+# lengths) that are deterministic functions of the code and must match
+# the baseline bit-for-bit — these are the only keys gated under
+# REPRO_DETERMINISTIC_TIMING.  The repo lint (rule I6) enforces that
+# keys are unique and snake_case.
+# ---------------------------------------------------------------------------
+
+#: Budget directions: which way a metric moves when things get better.
+BUDGET_DIRECTIONS = ("lower_better", "higher_better", "exact")
+
+
+@dataclasses.dataclass(frozen=True)
+class PerfBudget:
+    """Regression budget for one flattened metric key (or glob pattern)."""
+
+    key: str
+    direction: str  # one of BUDGET_DIRECTIONS
+    max_regression: float  # allowed fractional move in the bad direction
+    doc: str
+
+
+#: All declared budgets, by key, in declaration order (first match wins).
+PERF_BUDGETS: dict[str, PerfBudget] = {}
+
+
+def declare_budget(
+    key: str, direction: str, max_regression: float, doc: str
+) -> PerfBudget:
+    """Register one perf budget (module-load time only)."""
+    if direction not in BUDGET_DIRECTIONS:
+        raise ValueError(
+            f"unknown budget direction {direction!r}; known: {BUDGET_DIRECTIONS}"
+        )
+    if key in PERF_BUDGETS:
+        raise ValueError(f"perf budget {key} declared twice")
+    if max_regression < 0:
+        raise ValueError(f"max_regression must be >= 0, got {max_regression}")
+    budget = PerfBudget(key, direction, float(max_regression), doc)
+    PERF_BUDGETS[key] = budget
+    return budget
+
+
+declare_budget(
+    "engines.*.speedup",
+    "higher_better",
+    0.40,
+    "Vectorized-engine lead over the scalar reference simulators; the "
+    "repo's first hard-won perf result.",
+)
+declare_budget(
+    "engines.*.accesses_per_sec",
+    "higher_better",
+    0.60,
+    "Raw engine throughput (machine-dependent; the wide band absorbs "
+    "host differences, the speedup budgets catch code regressions).",
+)
+declare_budget(
+    "trace_synthesis.speedup",
+    "higher_better",
+    0.40,
+    "Symbolic trace synthesis vs the executed tracer on the fig6sim "
+    "grid (the PR 6 ~7x win).",
+)
+declare_budget(
+    "trace_synthesis.events_per_sec",
+    "higher_better",
+    0.60,
+    "Synthesis event-generation throughput.",
+)
+declare_budget(
+    "parallel_sweep.speedup",
+    "higher_better",
+    0.60,
+    "Process-pool sweep speedup over the serial path (only meaningful "
+    "on multi-core hosts; perf_smoke records it regardless).",
+)
+declare_budget(
+    "trace.expand_seconds",
+    "lower_better",
+    2.0,
+    "Cold-cache trace expansion for the standard/LZ n=256 multiply "
+    "(dominated by one-off work; generous band).",
+)
+declare_budget(
+    "trace.warm_expand_seconds",
+    "lower_better",
+    2.0,
+    "Warm-store trace expansion — the cache-hit path must stay cheap.",
+)
+declare_budget(
+    "trace.accesses",
+    "exact",
+    0.0,
+    "Structural: length of the expanded n=256 address stream; a change "
+    "means the tracer or tiling changed, not the hardware.",
+)
+declare_budget(
+    "trace_synthesis.events",
+    "exact",
+    0.0,
+    "Structural: symbolic event count over the fig6sim grid; must be "
+    "byte-identical to the executed tracer's.",
+)
+
+
+def declared_budgets() -> dict[str, PerfBudget]:
+    """Every declared budget by key, in declaration order."""
+    return dict(PERF_BUDGETS)
+
+
+def budget_for(key: str) -> PerfBudget | None:
+    """The budget governing one flattened metric key, or None.
+
+    Exact key matches win over patterns; among patterns, declaration
+    order decides (first match).
+    """
+    exact = PERF_BUDGETS.get(key)
+    if exact is not None:
+        return exact
+    for budget in PERF_BUDGETS.values():
+        if fnmatch.fnmatchcase(key, budget.key):
+            return budget
+    return None
 
 
 # ---------------------------------------------------------------------------

@@ -97,6 +97,16 @@ class Rule:
             return False
         return _under(posix, self.dirs)
 
+    def begin(self) -> None:
+        """Reset per-run state before a scan.
+
+        :func:`run_lint` calls this once on every selected rule before
+        touching any file.  Stateless rules (most) inherit the no-op;
+        rules that accumulate *cross-file* state (uniqueness checks like
+        I6) override it so registry-held rule instances do not leak one
+        run's sightings into the next.
+        """
+
     def check(self, rel: Path, tree: ast.Module) -> list[Violation]:
         """All violations of this rule in one parsed file."""
         raise NotImplementedError
@@ -172,6 +182,8 @@ def run_lint(
         rules = {name: rules[name] for name in rules if name in wanted}
     violations: list[Violation] = []
     files = iter_source_files(root)
+    for rule in rules.values():
+        rule.begin()
     with obs.span("lint.run", rules=",".join(rules), files=len(files)):
         for rel in files:
             try:

@@ -1,4 +1,4 @@
-"""The repo's lint rules (I1-I5).
+"""The repo's lint rules (I1-I6).
 
 Rules
 -----
@@ -33,6 +33,16 @@ I5  No bare ``os.environ`` *reads* outside the knob registry
     (:mod:`repro.knobs`).  Writes are allowed — the CLI exports
     ``REPRO_JOBS`` to sweep workers — but reads bypass declaration,
     typing, and the effective-config dump.
+
+I6  The perf/metrics namespace is coherent: every ``declare_budget``
+    key is declared exactly once and is dotted snake_case (``*``
+    allowed as a whole glob segment), and every metric name published
+    through the registry helpers (``obs.add`` / ``obs.gauge`` /
+    ``obs.observe``) is dotted snake_case and bound to exactly one
+    instrument kind repo-wide — the same name used as both a counter
+    and a histogram would silently split one trajectory into two in
+    the perf-history store.  Matching is lexical over constant string
+    arguments; dynamically built names (f-strings) are out of scope.
 """
 
 from __future__ import annotations
@@ -49,6 +59,7 @@ __all__ = [
     "KnobsDeclaredRule",
     "NoBareEnvironRule",
     "NoDirectTimeRule",
+    "PerfNamespaceRule",
     "ScalarSimRule",
     "StableSortRule",
 ]
@@ -72,6 +83,15 @@ def _is_module_attr(node: ast.expr, module: str, attrs: frozenset[str]) -> bool:
         and isinstance(node.value, ast.Name)
         and node.value.id == module
     )
+
+
+def _const_str_arg(call: ast.Call) -> str | None:
+    """The call's first positional argument, when a string literal."""
+    if call.args:
+        first = call.args[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            return first.value
+    return None
 
 
 @register
@@ -294,4 +314,105 @@ class NoBareEnvironRule(Rule):
                     alias.name == "environ" for alias in node.names
                 ):
                     flag(node.lineno, "import (from os import environ)")
+        return out
+
+
+@register
+class PerfNamespaceRule(Rule):
+    """I6: perf budget keys and published metric names stay coherent."""
+
+    name: ClassVar[str] = "I6"
+    summary: ClassVar[str] = (
+        "perf budget keys declared once and snake_case; registry metric "
+        "names snake_case with exactly one instrument kind"
+    )
+
+    #: Registry helper -> instrument kind it binds the name to.
+    _PUBLISHERS: ClassVar[dict[str, str]] = {
+        "add": "counter",
+        "gauge": "gauge",
+        "observe": "histogram",
+    }
+    #: Receiver names the helpers are conventionally imported as.
+    _RECEIVERS: ClassVar[frozenset[str]] = frozenset(
+        {"obs", "metrics", "obs_metrics"}
+    )
+    _SEGMENT = re.compile(r"^[a-z][a-z0-9_]*$")
+
+    def __init__(self) -> None:
+        #: budget key -> "path:line" of its first declaration this run.
+        self._budget_sites: dict[str, str] = {}
+        #: metric name -> (kind, "path:line") of its first publish site.
+        self._metric_kinds: dict[str, tuple[str, str]] = {}
+
+    def begin(self) -> None:
+        self._budget_sites.clear()
+        self._metric_kinds.clear()
+
+    def _bad_name(self, name: str, *, allow_glob: bool) -> bool:
+        segments = name.split(".")
+        return not all(
+            self._SEGMENT.match(seg) or (allow_glob and seg == "*")
+            for seg in segments
+        )
+
+    def check(self, rel: Path, tree: ast.Module) -> list[Violation]:
+        out: list[Violation] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            fn = node.func
+            site = f"{rel.as_posix()}:{node.lineno}"
+            if _called_name(node) == "declare_budget":
+                key = _const_str_arg(node)
+                if key is None:
+                    continue
+                if self._bad_name(key, allow_glob=True):
+                    out.append(
+                        self.violation(
+                            rel, node.lineno,
+                            f"perf budget key {key!r} is not dotted "
+                            f"snake_case (segments [a-z][a-z0-9_]*, or '*' "
+                            f"as a whole glob segment)",
+                        )
+                    )
+                first = self._budget_sites.setdefault(key, site)
+                if first != site:
+                    out.append(
+                        self.violation(
+                            rel, node.lineno,
+                            f"perf budget key {key!r} already declared at "
+                            f"{first}; budget keys must be unique",
+                        )
+                    )
+            elif (
+                isinstance(fn, ast.Attribute)
+                and fn.attr in self._PUBLISHERS
+                and isinstance(fn.value, ast.Name)
+                and fn.value.id in self._RECEIVERS
+            ):
+                name = _const_str_arg(node)
+                if name is None:
+                    continue  # dynamically built names are out of scope
+                kind = self._PUBLISHERS[fn.attr]
+                if self._bad_name(name, allow_glob=False):
+                    out.append(
+                        self.violation(
+                            rel, node.lineno,
+                            f"metric name {name!r} is not dotted snake_case "
+                            f"(segments [a-z][a-z0-9_]*)",
+                        )
+                    )
+                prev_kind, prev_site = self._metric_kinds.setdefault(
+                    name, (kind, site)
+                )
+                if prev_kind != kind:
+                    out.append(
+                        self.violation(
+                            rel, node.lineno,
+                            f"metric {name!r} published as a {kind} here but "
+                            f"as a {prev_kind} at {prev_site}; one name must "
+                            f"map to one instrument kind",
+                        )
+                    )
         return out

@@ -31,7 +31,9 @@ from repro.obs.core import (
 from repro.obs.manifest import build_manifest, obs_output_dir, write_manifest
 from repro.obs.metrics import MetricsRegistry, add, gauge, observe, registry
 from repro.obs.report import (
+    SpanReadError,
     load_spans_jsonl,
+    read_spans_jsonl,
     render_report,
     render_top_spans,
     top_spans,
@@ -41,6 +43,7 @@ __all__ = [
     "NULL_SPAN",
     "MetricsRegistry",
     "SpanCollector",
+    "SpanReadError",
     "add",
     "build_manifest",
     "collector",
@@ -49,6 +52,7 @@ __all__ = [
     "load_spans_jsonl",
     "observe",
     "obs_output_dir",
+    "read_spans_jsonl",
     "registry",
     "render_report",
     "render_top_spans",

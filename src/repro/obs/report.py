@@ -7,22 +7,64 @@ from pathlib import Path
 
 from repro.obs import core, metrics
 
-__all__ = ["load_spans_jsonl", "render_report", "render_top_spans", "top_spans"]
+__all__ = [
+    "SpanReadError",
+    "load_spans_jsonl",
+    "read_spans_jsonl",
+    "render_report",
+    "render_top_spans",
+    "top_spans",
+]
 
 
 def _section(title: str) -> list[str]:
     return [title, "-" * len(title)]
 
 
+class SpanReadError(RuntimeError):
+    """A spans JSONL path is missing or unreadable (not merely dirty)."""
+
+
+def read_spans_jsonl(path) -> tuple[list[dict], int]:
+    """Read span records back from a ``spans.jsonl`` export.
+
+    Returns ``(records, skipped)``: lines that are not valid JSON
+    objects are skipped and counted rather than aborting the whole read
+    — a truncated line from a killed worker must not take down the
+    report of every span that *was* recorded.  A missing or unreadable
+    file raises :class:`SpanReadError` with a message fit to print.
+    """
+    p = Path(path)
+    if not p.exists():
+        raise SpanReadError(
+            f"spans file not found: {p} (run with REPRO_OBS=1 or via "
+            f"`repro report` to produce one)"
+        )
+    records: list[dict] = []
+    skipped = 0
+    try:
+        with open(p) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError:
+                    skipped += 1
+                    continue
+                if isinstance(rec, dict):
+                    records.append(rec)
+                else:
+                    skipped += 1
+    except OSError as exc:
+        raise SpanReadError(f"cannot read spans file {p}: {exc}") from exc
+    return records, skipped
+
+
 def load_spans_jsonl(path) -> list[dict]:
-    """Read span records back from a ``spans.jsonl`` export."""
-    records = []
-    with open(Path(path)) as fh:
-        for line in fh:
-            line = line.strip()
-            if line:
-                records.append(json.loads(line))
-    return records
+    """Span records from a JSONL export (malformed lines skipped)."""
+    return read_spans_jsonl(path)[0]
 
 
 def top_spans(spans: list[dict]) -> list[tuple[str, int, float, float]]:
@@ -123,9 +165,19 @@ def render_report(store=None) -> str:
         any_metric = True
     for name, h in snap["histograms"].items():
         if h["count"]:
+            # Percentiles are nearest-rank over the retained samples;
+            # the explicit samples= count says how much they mean
+            # (p99 of 7 samples is just the max, and reads as such).
+            pcts = " ".join(
+                f"p{p}={h[f'p{p}']:g}"
+                for p in (50, 90, 99)
+                if h.get(f"p{p}") is not None
+            )
             lines.append(
                 f"histogram  {name}: n={h['count']} mean={h['mean']:g} "
                 f"min={h['min']:g} max={h['max']:g}"
+                + (f" {pcts}" if pcts else "")
+                + f" (samples={h.get('samples', 0)})"
             )
         else:
             lines.append(f"histogram  {name}: n=0")

@@ -21,12 +21,13 @@ from repro.lint.core import SCAN_DIRS, Rule, register
 def check(rule_name: str, source: str, path: str = "src/repro/x.py"):
     """Run one registered rule over synthetic source text."""
     rule = all_rules()[rule_name]
+    rule.begin()
     return rule.check(Path(path), ast.parse(source))
 
 
 class TestFramework:
-    def test_registry_has_all_five_rules(self):
-        assert sorted(all_rules()) == ["I1", "I2", "I3", "I4", "I5"]
+    def test_registry_has_all_rules(self):
+        assert sorted(all_rules()) == ["I1", "I2", "I3", "I4", "I5", "I6"]
 
     def test_rules_have_summaries(self):
         for rule in all_rules().values():
@@ -132,7 +133,7 @@ class TestRunLint:
     def test_repo_is_clean(self):
         report = run_lint()
         assert report.ok, "\n".join(v.render() for v in report.violations)
-        assert report.rules == ("I1", "I2", "I3", "I4", "I5")
+        assert report.rules == ("I1", "I2", "I3", "I4", "I5", "I6")
         assert report.files_scanned > 50
 
     def test_select_subset(self):
@@ -183,3 +184,82 @@ class TestShim:
         )
         assert proc.returncode == 0, proc.stdout + proc.stderr
         assert "lint: OK" in proc.stdout
+
+
+class TestPerfNamespaceRule:
+    """I6: budget keys unique + snake_case; metric names kind-consistent."""
+
+    def test_clean_budget_and_metrics(self):
+        assert check("I6", (
+            'declare_budget("engines.*.speedup", direction="higher_better",\n'
+            '               max_regression=0.4, doc="d")\n'
+            'obs.add("memsim.store.trace_hits")\n'
+            'obs.observe("convert.seconds", 0.5)\n'
+        )) == []
+
+    def test_duplicate_budget_key_flagged_at_second_site(self):
+        out = check("I6", (
+            'declare_budget("trace.accesses", direction="exact",\n'
+            '               max_regression=0.0, doc="d")\n'
+            'declare_budget("trace.accesses", direction="exact",\n'
+            '               max_regression=0.0, doc="d")\n'
+        ))
+        assert len(out) == 1
+        assert out[0].line == 3
+        assert "already declared" in out[0].message
+
+    def test_duplicate_budget_key_across_files(self):
+        rule = all_rules()["I6"]
+        rule.begin()
+        src = ('declare_budget("a.b", direction="exact", '
+               'max_regression=0.0, doc="d")\n')
+        assert rule.check(Path("src/repro/one.py"), ast.parse(src)) == []
+        out = rule.check(Path("src/repro/two.py"), ast.parse(src))
+        assert len(out) == 1
+        assert "src/repro/one.py:1" in out[0].message
+
+    def test_begin_resets_cross_file_state(self):
+        src = ('declare_budget("a.b", direction="exact", '
+               'max_regression=0.0, doc="d")\n')
+        assert check("I6", src) == []
+        assert check("I6", src) == []  # helper begin()s each time
+
+    def test_budget_key_glob_segment_allowed(self):
+        assert check(
+            "I6",
+            'declare_budget("engines.*.accesses_per_sec", doc="d")\n',
+        ) == []
+
+    def test_budget_key_not_snake_case(self):
+        out = check("I6", 'declare_budget("Engines.Speedup", doc="d")\n')
+        assert len(out) == 1
+        assert "snake_case" in out[0].message
+
+    def test_metric_name_not_snake_case(self):
+        out = check("I6", 'obs.add("memsim.TraceHits")\n')
+        assert len(out) == 1
+        assert "snake_case" in out[0].message
+
+    def test_metric_kind_conflict(self):
+        out = check("I6", (
+            'obs.add("convert.seconds")\n'
+            'obs.observe("convert.seconds", 0.5)\n'
+        ))
+        assert len(out) == 1
+        assert out[0].line == 2
+        assert "counter" in out[0].message and "histogram" in out[0].message
+
+    def test_same_kind_many_sites_is_fine(self):
+        assert check("I6", (
+            'obs.add("sanitize.runs")\n'
+            'obs.add("sanitize.runs", 3)\n'
+        )) == []
+
+    def test_dynamic_names_out_of_scope(self):
+        assert check("I6", 'obs.add(f"{prefix}.runs")\n') == []
+
+    def test_unrelated_add_calls_ignored(self):
+        assert check("I6", 'seen.add("Not-A-Metric")\n') == []
+
+    def test_repo_is_clean_under_i6(self):
+        assert run_lint(select=["I6"]).ok

@@ -130,7 +130,12 @@ class TestMetrics:
         assert snap["counters"]["c"] == 5
         assert snap["gauges"]["g"] == 2.5
         h = snap["histograms"]["h"]
-        assert h == {"count": 2, "total": 4.0, "min": 1.0, "max": 3.0, "mean": 2.0}
+        assert h["count"] == 2 and h["total"] == 4.0
+        assert h["min"] == 1.0 and h["max"] == 3.0 and h["mean"] == 2.0
+        assert h["samples"] == 2 and h["sample_values"] == [1.0, 3.0]
+        # Nearest-rank at n=2: p50 is the first sorted sample, p90/p99
+        # are the maximum — observed values, never interpolated.
+        assert h["p50"] == 1.0 and h["p90"] == 3.0 and h["p99"] == 3.0
 
     def test_counter_rejects_negative(self, obs_on):
         with pytest.raises(ValueError):
@@ -237,3 +242,66 @@ class TestDisabledOverhead:
         snap = obs.registry().snapshot()
         assert snap["counters"] == {}
         assert snap["histograms"] == {}
+
+
+class TestSpanJsonlReading:
+    def test_missing_file_raises_clear_error(self, tmp_path):
+        with pytest.raises(obs.SpanReadError, match="not found"):
+            obs.read_spans_jsonl(tmp_path / "nope.jsonl")
+
+    def test_malformed_lines_skipped_and_counted(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        path.write_text(
+            '{"id": 1, "name": "good", "dur": 1.0}\n'
+            "{truncated by a killed worker\n"
+            "\n"
+            "[1, 2, 3]\n"
+            '{"id": 2, "name": "also_good", "dur": 0.5}\n'
+        )
+        records, skipped = obs.read_spans_jsonl(path)
+        assert [r["name"] for r in records] == ["good", "also_good"]
+        assert skipped == 2
+
+    def test_load_spans_jsonl_drops_the_count(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        path.write_text('{"id": 1, "name": "s", "dur": 1.0}\nbad\n')
+        assert len(obs.load_spans_jsonl(path)) == 1
+
+    def test_percentiles_validate_range(self):
+        from repro.obs.metrics import Histogram
+
+        h = Histogram()
+        assert h.percentile(50) is None  # nothing retained
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.percentile(0)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_nearest_rank_small_samples(self):
+        from repro.obs.metrics import Histogram
+
+        h = Histogram()
+        for v in (5.0, 1.0, 3.0, 2.0, 4.0):
+            h.observe(v)
+        # nearest-rank over n=5: rank(p) = ceil(p/100 * 5)
+        assert h.percentile(50) == 3.0
+        assert h.percentile(90) == 5.0
+        assert h.percentile(99) == 5.0
+        assert h.percentile(20) == 1.0
+
+    def test_rendered_report_carries_samples_count(self, obs_on):
+        for v in (1.0, 2.0, 3.0):
+            obs.observe("h.seconds", v)
+        text = obs.render_report()
+        assert "samples=3" in text
+        assert "p50=2" in text
+
+    def test_sample_buffer_caps(self):
+        from repro.obs.metrics import Histogram
+
+        h = Histogram()
+        for i in range(Histogram.MAX_SAMPLES + 100):
+            h.observe(float(i))
+        assert h.count == Histogram.MAX_SAMPLES + 100
+        assert len(h.samples) == Histogram.MAX_SAMPLES

@@ -1,0 +1,128 @@
+"""Merge edge cases: SpanCollector.merge and MetricsRegistry.merge.
+
+Merging is the seam between sweep workers and the parent process.
+Spans merge safely any number of times (ids are remapped into the
+receiver's space), but metric merges are additive — re-merging the same
+snapshot must fail loudly, not silently double every counter.
+"""
+
+import pytest
+
+from repro.obs.core import SpanCollector
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestSpanCollectorMerge:
+    def test_id_remap_avoids_collisions(self):
+        local = SpanCollector()
+        local.record({"id": local.next_id(), "parent": None, "name": "local",
+                      "dur": 1.0})
+        incoming = [
+            {"id": 1, "parent": None, "name": "w.outer", "dur": 2.0},
+            {"id": 2, "parent": 1, "name": "w.inner", "dur": 0.5},
+        ]
+        new_ids = local.merge(incoming)
+        spans = local.spans()
+        ids = [rec["id"] for rec in spans]
+        assert len(ids) == len(set(ids)), "merged ids collided with local ids"
+        assert new_ids == ids[1:]
+        # Parent/child link inside the incoming batch survives the remap.
+        outer = next(r for r in spans if r["name"] == "w.outer")
+        inner = next(r for r in spans if r["name"] == "w.inner")
+        assert inner["parent"] == outer["id"]
+
+    def test_parent_outside_batch_is_detached(self):
+        local = SpanCollector()
+        local.merge([{"id": 7, "parent": 99, "name": "orphan", "dur": 0.1}])
+        (rec,) = local.spans()
+        assert rec["parent"] is None
+
+    def test_empty_worker_merge_is_noop(self):
+        local = SpanCollector()
+        assert local.merge([]) == []
+        assert local.spans() == []
+
+    def test_self_merge_duplicates_with_fresh_ids(self):
+        # Spans self-merge is *safe* (unlike counters): each merge call
+        # adopts copies under new ids, so counts double visibly and no
+        # id is ever reused.
+        local = SpanCollector()
+        local.merge([{"id": 1, "parent": None, "name": "s", "dur": 1.0}])
+        local.merge(local.spans())
+        spans = local.spans()
+        assert len(spans) == 2
+        assert len({rec["id"] for rec in spans}) == 2
+        assert local.counts() == {"s": 2}
+
+
+class TestMetricsRegistryMergeGuard:
+    def test_snapshot_carries_process_unique_id(self):
+        reg = MetricsRegistry()
+        a, b = reg.snapshot(), reg.snapshot()
+        assert a["snapshot_id"] != b["snapshot_id"]
+
+    def test_merging_same_snapshot_twice_fails_loudly(self):
+        src = MetricsRegistry()
+        src.counter("c").inc(3)
+        snap = src.snapshot()
+        dst = MetricsRegistry()
+        dst.merge(snap)
+        with pytest.raises(ValueError, match="already merged"):
+            dst.merge(snap)
+        # The first merge landed exactly once.
+        assert dst.snapshot()["counters"]["c"] == 3
+
+    def test_merging_a_registry_with_itself_fails_loudly(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(1)
+        snap = reg.snapshot()
+        reg.merge(snap)  # doubling, but explicit: fresh snapshot, one merge
+        with pytest.raises(ValueError, match="double"):
+            reg.merge(snap)
+
+    def test_distinct_snapshots_of_same_registry_both_merge(self):
+        src = MetricsRegistry()
+        src.counter("c").inc(2)
+        dst = MetricsRegistry()
+        dst.merge(src.snapshot())
+        dst.merge(src.snapshot())  # a genuinely new snapshot: allowed
+        assert dst.snapshot()["counters"]["c"] == 4
+
+    def test_idless_snapshots_merge_unguarded(self):
+        # Hand-built payloads (and pre-upgrade workers) have no id; they
+        # keep the old additive semantics.
+        dst = MetricsRegistry()
+        payload = {"counters": {"c": 1}, "gauges": {}, "histograms": {}}
+        dst.merge(payload)
+        dst.merge(payload)
+        assert dst.snapshot()["counters"]["c"] == 2
+
+    def test_empty_worker_snapshot_merges_cleanly(self):
+        dst = MetricsRegistry()
+        dst.counter("c").inc(1)
+        dst.merge(MetricsRegistry().snapshot())
+        snap = dst.snapshot()
+        assert snap["counters"] == {"c": 1}
+        assert snap["histograms"] == {}
+
+    def test_reset_forgets_merged_ids(self):
+        src = MetricsRegistry()
+        src.counter("c").inc(1)
+        snap = src.snapshot()
+        dst = MetricsRegistry()
+        dst.merge(snap)
+        dst.reset()
+        dst.merge(snap)  # a reset registry is a new accumulation
+        assert dst.snapshot()["counters"]["c"] == 1
+
+    def test_histogram_samples_survive_merge(self):
+        src = MetricsRegistry()
+        for v in (1.0, 2.0, 3.0):
+            src.histogram("h").observe(v)
+        dst = MetricsRegistry()
+        dst.histogram("h").observe(10.0)
+        dst.merge(src.snapshot())
+        h = dst.snapshot()["histograms"]["h"]
+        assert h["count"] == 4 and h["samples"] == 4
+        assert sorted(h["sample_values"]) == [1.0, 2.0, 3.0, 10.0]
+        assert h["p99"] == 10.0
