@@ -434,6 +434,21 @@ def _cmd_report(args) -> None:
     print(f"manifest: {manifest_path}")
 
 
+def _cmd_serve(args) -> None:
+    from repro.serve.server import run_server
+
+    host = args.host if args.host is not None else knobs.path("REPRO_SERVE_HOST")
+    port = args.port if args.port is not None else (
+        knobs.integer("REPRO_SERVE_PORT") or 0
+    )
+    run_server(
+        host,
+        port,
+        pool_jobs=args.jobs,
+        append_history=args.append_history,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     p = argparse.ArgumentParser(
@@ -602,6 +617,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit the JSON report instead of text")
     s.set_defaults(fn=_cmd_lint)
 
+    s = sub.add_parser(
+        "serve",
+        help="long-lived simulation service (batch sweep API, shared "
+             "warm trace store)",
+    )
+    s.add_argument("--host", default=None,
+                   help="bind address (default: REPRO_SERVE_HOST)")
+    s.add_argument("--port", type=int, default=None,
+                   help="TCP port; 0 binds an ephemeral port "
+                        "(default: REPRO_SERVE_PORT)")
+    s.add_argument("--jobs", "-j", type=int, default=None,
+                   help="worker-pool width (default: REPRO_SERVE_JOBS, "
+                        "else REPRO_JOBS, else cpu count)")
+    s.add_argument("--append-history", action="store_true",
+                   help="write a serve:session record to the perf-history "
+                        "'serve' stream on shutdown")
+    s.set_defaults(fn=_cmd_serve)
+
     s = sub.add_parser("gemm", help="run one dgemm and show its cost breakdown")
     s.add_argument("--m", type=int, default=300)
     s.add_argument("--k", type=int, default=200)
@@ -654,7 +687,9 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
     args.fn(args)
-    if args.command not in ("report",):  # report writes its own manifest
+    # report writes its own manifest; serve writes its own session
+    # history record on shutdown.
+    if args.command not in ("report", "serve"):
         _write_run_manifest(args, argv)
     return 0
 

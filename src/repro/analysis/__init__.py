@@ -13,6 +13,7 @@ from repro.analysis.experiments import (
     fig5_robustness,
     fig6_layout_comparison,
     fig6_simulated,
+    fig6sim_merge,
     fig7_kernel_tiers,
     scaling_table,
     simulated_speedups,
@@ -44,6 +45,7 @@ __all__ = [
     "fig5_robustness",
     "fig6_layout_comparison",
     "fig6_simulated",
+    "fig6sim_merge",
     "fig7_kernel_tiers",
     "scaling_table",
     "simulated_speedups",

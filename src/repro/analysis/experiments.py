@@ -202,8 +202,22 @@ def fig6_simulated(
     )
     with obs.span("fig6sim", n=n, tile=tile):
         raw = run_sweep(points, jobs=jobs)
-    # Merge step: the vs-L_C ratio needs the whole per-algorithm group,
-    # so it derives from the gathered cycles rather than inside a point.
+    return fig6sim_merge(raw, n=n, algorithms=algorithms, layouts=layouts)
+
+
+def fig6sim_merge(
+    raw: list[dict],
+    *,
+    n: int,
+    algorithms: Sequence[str],
+    layouts: Sequence[str],
+) -> list[dict]:
+    """Merge step of :func:`fig6_simulated`: the vs-L_C ratio needs the
+    whole per-algorithm row group, so it derives from the gathered
+    cycles rather than inside a point.  Shared with the simulation
+    service (:mod:`repro.serve`), which runs the same point grid through
+    its own executor and must reproduce the driver's rows byte-for-byte.
+    """
     cycles = {(r["algorithm"], r["layout"]): r["cycles"] for r in raw}
     flops = 2.0 * n**3
     rows = []

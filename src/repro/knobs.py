@@ -167,6 +167,41 @@ declare(
     "Root of the append-only benchmark history store; default: "
     "<repo>/.benchmarks/history.",
 )
+declare(
+    "REPRO_SERVE_HOST",
+    "str",
+    "127.0.0.1",
+    "Bind address of the long-lived simulation service "
+    "(`python -m repro serve`).",
+)
+declare(
+    "REPRO_SERVE_PORT",
+    "int",
+    0,
+    "TCP port of the simulation service; 0 (the default) binds an "
+    "ephemeral port, printed on the readiness line.",
+)
+declare(
+    "REPRO_SERVE_JOBS",
+    "int",
+    None,
+    "Worker-process count of the service's shared sweep pool "
+    "(default: REPRO_JOBS, else os.cpu_count()).",
+)
+declare(
+    "REPRO_SERVE_MAX_RETRIES",
+    "int",
+    2,
+    "How many times the service re-runs a sweep job after its worker "
+    "pool breaks (e.g. a worker was OOM-killed) before failing the job.",
+)
+declare(
+    "REPRO_SERVE_TEST_HOOKS",
+    "flag",
+    False,
+    "Expose the service's fault-injection test figure ('fault'); never "
+    "set outside the black-box service test suite.",
+)
 
 
 # ---------------------------------------------------------------------------
@@ -278,6 +313,22 @@ declare_budget(
     "Structural: symbolic event count over the fig6sim grid; must be "
     "byte-identical to the executed tracer's.",
 )
+declare_budget(
+    "serve.request.p99",
+    "lower_better",
+    2.0,
+    "Service latency SLO: 99th-percentile request handling time over a "
+    "`repro serve` session (nearest-rank over the session histogram; "
+    "the wide band absorbs host scheduling noise).",
+)
+declare_budget(
+    "serve.sweep.rows",
+    "exact",
+    0.0,
+    "Structural: total sweep rows served across a fixed service-session "
+    "workload; the only serve key gated under "
+    "REPRO_DETERMINISTIC_TIMING, bit-for-bit.",
+)
 
 
 def declared_budgets() -> dict[str, PerfBudget]:
@@ -350,6 +401,34 @@ def path(name: str) -> str | None:
 def declared_names() -> frozenset[str]:
     """Names of every declared knob (the rule-I4 ground truth)."""
     return frozenset(REGISTRY)
+
+
+def environ_snapshot() -> dict[str, str]:
+    """Raw values of every ``REPRO_``-prefixed environment variable.
+
+    Test-isolation support: the suite's autouse fixture snapshots the
+    knob environment before each test and restores it afterwards with
+    :func:`environ_restore`, so a test (or the CLI paths it drives —
+    ``repro report --jobs`` mutates ``REPRO_JOBS`` in-process) can never
+    leak knob state into a later test or a subprocess it spawns.  Lives
+    here because this module is the only sanctioned ``os.environ``
+    access point (lint rule I5).
+    """
+    return {
+        name: value
+        for name, value in os.environ.items()
+        if name.startswith("REPRO_")
+    }
+
+
+def environ_restore(snapshot: dict[str, str]) -> None:
+    """Restore the ``REPRO_*`` environment to a prior snapshot exactly:
+    variables set since the snapshot are removed, changed ones reset."""
+    for name in [n for n in os.environ if n.startswith("REPRO_")]:
+        if name not in snapshot:
+            del os.environ[name]
+    for name, value in snapshot.items():
+        os.environ[name] = value
 
 
 def effective() -> dict[str, dict[str, object]]:

@@ -1,0 +1,160 @@
+"""Minimal stdlib client for the simulation service.
+
+Built on :mod:`urllib.request` only, mirroring the service's own
+zero-dependency rule.  This is the programmatic surface the black-box
+test suite and the CI smoke job drive; interactive use is the same
+three lines::
+
+    from repro.serve.client import ServeClient
+    client = ServeClient("http://127.0.0.1:8765")
+    rows = client.rows("fig6sim", {"n": 48, "tile": 8,
+                                   "machine": {"scaled": 4}}, jobs=2)
+
+Every method returns ``(status_code, payload)`` pairs decoded from the
+service's JSON bodies; HTTP errors (4xx) are returned the same way,
+not raised, so tests can assert on them directly.  Transport errors
+(connection refused, timeouts) raise ``OSError`` subclasses as usual.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any
+
+from repro import clock
+
+__all__ = ["ServeClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A service-level failure surfaced by a convenience method
+    (:meth:`ServeClient.rows` on a failed or timed-out job)."""
+
+
+class ServeClient:
+    """One service endpoint, addressed by base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 120.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> tuple[int, dict]:
+        data = json.dumps(body).encode() if body is not None else None
+        req = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return resp.status, json.loads(resp.read() or b"{}")
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                payload = json.loads(raw) if raw else {}
+            except json.JSONDecodeError:
+                payload = {"error": raw.decode(errors="replace")}
+            return exc.code, payload
+
+    def get(self, path: str) -> tuple[int, dict]:
+        return self._request("GET", path)
+
+    def post(self, path: str, body: dict) -> tuple[int, dict]:
+        return self._request("POST", path, body)
+
+    # -- routes --------------------------------------------------------
+
+    def healthz(self) -> tuple[int, dict]:
+        return self.get("/healthz")
+
+    def metrics(self) -> tuple[int, dict]:
+        return self.get("/metrics")
+
+    def sweep(
+        self,
+        figure: str,
+        params: dict | None = None,
+        *,
+        jobs: int = 1,
+        wait: bool = True,
+        timeout_s: float | None = None,
+    ) -> tuple[int, dict]:
+        body: dict[str, Any] = {
+            "figure": figure,
+            "params": params or {},
+            "jobs": jobs,
+            "wait": wait,
+        }
+        if timeout_s is not None:
+            body["timeout_s"] = timeout_s
+        return self.post("/v1/sweep", body)
+
+    def job(self, job_id: str) -> tuple[int, dict]:
+        return self.get(f"/v1/jobs/{job_id}")
+
+    def jobs(self) -> tuple[int, dict]:
+        return self.get("/v1/jobs")
+
+    def shutdown(self) -> tuple[int, dict]:
+        return self.post("/v1/shutdown", {})
+
+    # -- conveniences --------------------------------------------------
+
+    def wait_for(
+        self, job_id: str, *, timeout: float = 120.0, poll: float = 0.1
+    ) -> dict:
+        """Poll a job until it leaves the queue; its final payload."""
+        deadline = clock.raw_perf_counter() + timeout
+        while True:
+            code, payload = self.job(job_id)
+            if code != 200:
+                raise ServiceError(f"job {job_id}: HTTP {code}: {payload}")
+            if payload["status"] in ("done", "failed"):
+                return payload
+            if clock.raw_perf_counter() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {payload['status']} after {timeout}s"
+                )
+            time.sleep(poll)
+
+    def rows(
+        self,
+        figure: str,
+        params: dict | None = None,
+        *,
+        jobs: int = 1,
+        timeout_s: float | None = None,
+    ) -> list[dict]:
+        """Submit, wait, and return the sweep rows (raising on failure)."""
+        code, payload = self.sweep(
+            figure, params, jobs=jobs, wait=True, timeout_s=timeout_s
+        )
+        if code == 202:
+            payload = self.wait_for(payload["job_id"])
+        if payload.get("status") != "done":
+            raise ServiceError(
+                f"sweep {figure} failed: {payload.get('error') or payload}"
+            )
+        return payload["rows"]
+
+    def wait_ready(self, *, timeout: float = 30.0, poll: float = 0.05) -> dict:
+        """Block until ``/healthz`` answers; the health payload."""
+        deadline = clock.raw_perf_counter() + timeout
+        last: Exception | None = None
+        while clock.raw_perf_counter() < deadline:
+            try:
+                code, payload = self.healthz()
+                if code == 200:
+                    return payload
+            except OSError as exc:
+                last = exc
+            time.sleep(poll)
+        raise ServiceError(f"service not ready after {timeout}s: {last}")

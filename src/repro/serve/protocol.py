@@ -1,0 +1,490 @@
+"""Wire protocol of the simulation service: request validation and the
+request -> :class:`~repro.analysis.parallel.SweepPoint` decomposition.
+
+A sweep request is a small JSON document::
+
+    {"figure": "fig6sim",
+     "params": {"n": 48, "tile": 8,
+                "algorithms": ["standard", "strassen"],
+                "layouts": ["LC", "LZ"],
+                "machine": {"scaled": 4}},
+     "jobs": 2}
+
+:func:`parse_request` validates it against the per-figure schema and
+normalizes it into a :class:`SweepRequest` whose ``params`` are in
+*canonical JSON form* (every default filled in, the machine spec
+expanded to the full :class:`~repro.memsim.machine.MachineModel`
+field dict).  Canonicalization is what makes coalescing work: the
+request key (:meth:`SweepRequest.key`) is a sha256 over the canonical
+payload, so two clients asking for the same sweep in different
+spellings (``"machine": "ultrasparc"`` vs. the explicit field dict,
+params in any order, defaults implicit or spelled out) land on the
+same key and share one execution.
+
+:func:`build_sweep` turns a validated request into the exact point
+grid the in-process figure drivers build — the *same* generator
+functions from :mod:`repro.analysis.parallel` and the same merge step
+(:func:`~repro.analysis.experiments.fig6sim_merge`), which is what
+makes served results byte-identical to the driver path (the black-box
+golden tests in ``tests/test_serve.py`` pin this).
+
+Figure parameter defaults mirror the driver signatures exactly, so an
+empty ``params`` serves the same grid ``python -m repro <figure>``
+prints.
+
+The ``fault`` figure exists only for the fault-injection test suite
+and is hidden unless ``REPRO_SERVE_TEST_HOOKS`` is set: its first
+point SIGKILLs the worker that runs it (once, guarded by a sentinel
+file), so the tests can prove the service retries broken jobs and that
+the shared trace store survives a worker dying mid-sweep.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import signal
+from typing import Any, Callable, Sequence
+
+from repro import knobs
+from repro.analysis.experiments import fig6sim_merge
+from repro.analysis.parallel import (
+    SweepPoint,
+    fig4_points,
+    fig5_points,
+    fig6_points,
+    fig6sim_points,
+    point_function,
+)
+from repro.layouts.registry import PAPER_LAYOUTS
+from repro.matrix.tile import TileRange
+from repro.memsim.machine import (
+    CacheGeometry,
+    MachineModel,
+    modern_like,
+    scaled,
+    ultrasparc_like,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "FIGURES",
+    "ProtocolError",
+    "SweepRequest",
+    "build_sweep",
+    "known_figures",
+    "machine_from_dict",
+    "machine_to_dict",
+    "parse_request",
+    "resolve_machine",
+]
+
+#: Bump when the request canonicalization changes incompatibly; part of
+#: the request key, so old and new servers never coalesce across it.
+PROTOCOL_VERSION = 1
+
+
+class ProtocolError(ValueError):
+    """A malformed or unserviceable sweep request (HTTP 400)."""
+
+
+# -- machine specs -----------------------------------------------------
+
+#: Named machine models a request may ask for.
+_MACHINES: dict[str, Callable[[], MachineModel]] = {
+    "ultrasparc": ultrasparc_like,
+    "modern": modern_like,
+}
+
+
+def resolve_machine(spec: Any) -> MachineModel:
+    """A :class:`MachineModel` from a request's machine spec.
+
+    Accepts a registered name (``"ultrasparc"``, ``"modern"``), a
+    ``{"scaled": k}`` shrink spec, or a full field dict as produced by
+    :func:`machine_to_dict`.
+    """
+    if isinstance(spec, str):
+        if spec not in _MACHINES:
+            raise ProtocolError(
+                f"unknown machine {spec!r}; known: {sorted(_MACHINES)} "
+                f"or {{'scaled': k}}"
+            )
+        return _MACHINES[spec]()
+    if isinstance(spec, dict) and set(spec) == {"scaled"}:
+        factor = spec["scaled"]
+        if not isinstance(factor, int) or isinstance(factor, bool) or factor < 1:
+            raise ProtocolError(
+                f"machine 'scaled' factor must be a positive integer, "
+                f"got {factor!r}"
+            )
+        return scaled(factor)
+    if isinstance(spec, dict):
+        try:
+            return machine_from_dict(spec)
+        except (TypeError, KeyError, ValueError) as exc:
+            raise ProtocolError(f"bad machine field dict: {exc}") from None
+    raise ProtocolError(
+        f"machine spec must be a name, {{'scaled': k}}, or a field dict; "
+        f"got {type(spec).__name__}"
+    )
+
+
+def machine_to_dict(machine: MachineModel) -> dict:
+    """Canonical JSON form of a machine model (the request-key form)."""
+    return dataclasses.asdict(machine)
+
+
+def machine_from_dict(fields: dict) -> MachineModel:
+    """Rebuild a :class:`MachineModel` from its canonical field dict."""
+    payload = dict(fields)
+    payload["l1"] = CacheGeometry(**payload["l1"])
+    payload["l2"] = CacheGeometry(**payload["l2"])
+    return MachineModel(**payload)
+
+
+# -- per-parameter coercion --------------------------------------------
+
+
+def _is_int(value: Any) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _pos_int(params: dict, name: str, default: int) -> int:
+    value = params.get(name, default)
+    if not _is_int(value) or value < 1:
+        raise ProtocolError(f"param {name!r} must be a positive integer")
+    return value
+
+
+def _int_list(params: dict, name: str, default: Sequence[int]) -> list[int]:
+    value = params.get(name, list(default))
+    if (
+        not isinstance(value, list)
+        or not value
+        or not all(_is_int(v) and v >= 1 for v in value)
+    ):
+        raise ProtocolError(
+            f"param {name!r} must be a non-empty list of positive integers"
+        )
+    return list(value)
+
+
+def _str_list(params: dict, name: str, default: Sequence[str]) -> list[str]:
+    value = params.get(name, list(default))
+    if (
+        not isinstance(value, list)
+        or not value
+        or not all(isinstance(v, str) for v in value)
+    ):
+        raise ProtocolError(f"param {name!r} must be a non-empty list of strings")
+    return list(value)
+
+
+def _name(params: dict, name: str, default: str) -> str:
+    value = params.get(name, default)
+    if not isinstance(value, str) or not value:
+        raise ProtocolError(f"param {name!r} must be a non-empty string")
+    return value
+
+
+def _flag(params: dict, name: str, default: bool) -> bool:
+    value = params.get(name, default)
+    if not isinstance(value, bool):
+        raise ProtocolError(f"param {name!r} must be a boolean")
+    return value
+
+
+def _machine(params: dict, name: str = "machine") -> dict:
+    """Normalized machine spec: default per-driver (ultrasparc)."""
+    spec = params.get(name, "ultrasparc")
+    return machine_to_dict(resolve_machine(spec))
+
+
+def _reject_unknown(params: dict, known: Sequence[str]) -> None:
+    unknown = sorted(set(params) - set(known))
+    if unknown:
+        raise ProtocolError(
+            f"unknown param(s) {unknown}; accepted: {sorted(known)}"
+        )
+
+
+# -- per-figure schemas ------------------------------------------------
+
+
+def _normalize_fig4(params: dict) -> dict:
+    _reject_unknown(params, (
+        "n", "tiles", "algorithm", "layout", "repeats", "machine",
+        "include_memsim",
+    ))
+    n = _pos_int(params, "n", 256)
+    return {
+        "n": n,
+        "tiles": _int_list(
+            params, "tiles", [t for t in (4, 8, 16, 32, 64, 128) if t <= n]
+        ),
+        "algorithm": _name(params, "algorithm", "standard"),
+        "layout": _name(params, "layout", "LZ"),
+        "repeats": _pos_int(params, "repeats", 3),
+        "machine": _machine(params),
+        "include_memsim": _flag(params, "include_memsim", True),
+    }
+
+
+def _normalize_fig5(params: dict) -> dict:
+    _reject_unknown(params, ("n_values", "tile", "machine"))
+    return {
+        "n_values": _int_list(params, "n_values", list(range(248, 281, 4))),
+        "tile": _pos_int(params, "tile", 16),
+        "machine": _machine(params),
+    }
+
+
+def _normalize_fig6(params: dict) -> dict:
+    _reject_unknown(params, (
+        "n", "algorithms", "layouts", "procs", "trange", "repeats",
+    ))
+    trange = params.get("trange")
+    if trange is None:
+        tr = TileRange()
+    else:
+        if (
+            not isinstance(trange, list)
+            or len(trange) != 2
+            or not all(_is_int(v) for v in trange)
+        ):
+            raise ProtocolError("param 'trange' must be [t_min, t_max]")
+        try:
+            tr = TileRange(*trange)
+        except ValueError as exc:
+            raise ProtocolError(str(exc)) from None
+    return {
+        "n": _pos_int(params, "n", 200),
+        "algorithms": _str_list(
+            params, "algorithms", ("standard", "strassen", "winograd")
+        ),
+        "layouts": _str_list(params, "layouts", PAPER_LAYOUTS),
+        "procs": _int_list(params, "procs", (1, 2, 4)),
+        "trange": [tr.t_min, tr.t_max],
+        "repeats": _pos_int(params, "repeats", 3),
+    }
+
+
+def _normalize_fig6sim(params: dict) -> dict:
+    _reject_unknown(params, ("n", "tile", "algorithms", "layouts", "machine"))
+    return {
+        "n": _pos_int(params, "n", 250),
+        "tile": _pos_int(params, "tile", 16),
+        "algorithms": _str_list(
+            params, "algorithms", ("standard", "strassen", "winograd")
+        ),
+        "layouts": _str_list(params, "layouts", PAPER_LAYOUTS),
+        "machine": _machine(params),
+    }
+
+
+def _normalize_fault(params: dict) -> dict:
+    if not knobs.flag("REPRO_SERVE_TEST_HOOKS"):
+        raise ProtocolError(
+            f"unknown figure 'fault'; known: {known_figures()}"
+        )
+    _reject_unknown(params, ("sentinel_dir", "points", "kill_index", "n", "tile"))
+    sentinel_dir = params.get("sentinel_dir")
+    if not isinstance(sentinel_dir, str) or not sentinel_dir:
+        raise ProtocolError("param 'sentinel_dir' is required for 'fault'")
+    points = _pos_int(params, "points", 2)
+    kill_index = params.get("kill_index", 0)
+    if not _is_int(kill_index) or not 0 <= kill_index < points:
+        raise ProtocolError("param 'kill_index' must be in [0, points)")
+    return {
+        "sentinel_dir": sentinel_dir,
+        "points": points,
+        "kill_index": kill_index,
+        "n": _pos_int(params, "n", 16),
+        "tile": _pos_int(params, "tile", 8),
+    }
+
+
+#: figure name -> params normalizer.  ``fault`` is hidden behind the
+#: test-hooks knob and never listed.
+_NORMALIZERS: dict[str, Callable[[dict], dict]] = {
+    "fig4": _normalize_fig4,
+    "fig5": _normalize_fig5,
+    "fig6": _normalize_fig6,
+    "fig6sim": _normalize_fig6sim,
+    "fault": _normalize_fault,
+}
+
+#: Publicly served figures (the 4xx error surface and ``/healthz``).
+FIGURES = ("fig4", "fig5", "fig6", "fig6sim")
+
+
+def known_figures() -> list[str]:
+    """Figure names a client may request (test hooks included when on)."""
+    out = list(FIGURES)
+    if knobs.flag("REPRO_SERVE_TEST_HOOKS"):
+        out.append("fault")
+    return out
+
+
+# -- requests ----------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepRequest:
+    """One validated, canonicalized sweep request.
+
+    ``params`` is the canonical JSON form (defaults filled, machine
+    expanded); ``jobs`` is the requested execution width (1 = the exact
+    serial in-process path; >1 = the service's shared worker pool).
+    """
+
+    figure: str
+    params: dict
+    jobs: int
+
+    def key(self) -> str:
+        """Content address of the request: the coalescing identity."""
+        blob = json.dumps(
+            {
+                "v": PROTOCOL_VERSION,
+                "figure": self.figure,
+                "params": self.params,
+                "jobs": self.jobs,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def job_id(self) -> str:
+        """Short job identifier (request-key prefix) used in URLs."""
+        return self.key()[:16]
+
+
+def parse_request(body: Any) -> SweepRequest:
+    """Validate and canonicalize one ``POST /v1/sweep`` body."""
+    if not isinstance(body, dict):
+        raise ProtocolError("request body must be a JSON object")
+    figure = body.get("figure")
+    if not isinstance(figure, str) or figure not in _NORMALIZERS:
+        raise ProtocolError(
+            f"unknown figure {figure!r}; known: {known_figures()}"
+        )
+    params = body.get("params", {})
+    if not isinstance(params, dict):
+        raise ProtocolError("'params' must be a JSON object")
+    jobs = body.get("jobs", 1)
+    if not _is_int(jobs) or jobs < 1:
+        raise ProtocolError("'jobs' must be a positive integer")
+    extras = sorted(set(body) - {"figure", "params", "jobs", "wait", "timeout_s"})
+    if extras:
+        raise ProtocolError(f"unknown request field(s) {extras}")
+    return SweepRequest(figure, _NORMALIZERS[figure](params), jobs)
+
+
+# -- decomposition -----------------------------------------------------
+
+
+def build_sweep(
+    request: SweepRequest,
+) -> tuple[list[SweepPoint], Callable[[list[dict]], list[dict]]]:
+    """The request's point grid plus its row-merge step.
+
+    Uses the same generator functions the in-process drivers use, so a
+    served sweep is the driver's sweep: same points, same canonical
+    order, same merge — byte-identical rows.
+    """
+    p = request.params
+    identity: Callable[[list[dict]], list[dict]] = lambda rows: rows
+    if request.figure == "fig4":
+        machine = machine_from_dict(p["machine"])
+        return (
+            fig4_points(
+                n=p["n"], tiles=p["tiles"], algorithm=p["algorithm"],
+                layout=p["layout"], repeats=p["repeats"], machine=machine,
+                include_memsim=p["include_memsim"],
+            ),
+            identity,
+        )
+    if request.figure == "fig5":
+        machine = machine_from_dict(p["machine"])
+        return (
+            fig5_points(
+                n_values=p["n_values"], tile=p["tile"], machine=machine
+            ),
+            identity,
+        )
+    if request.figure == "fig6":
+        return (
+            fig6_points(
+                n=p["n"], algorithms=p["algorithms"], layouts=p["layouts"],
+                procs=p["procs"], trange=TileRange(*p["trange"]),
+                repeats=p["repeats"],
+            ),
+            identity,
+        )
+    if request.figure == "fig6sim":
+        machine = machine_from_dict(p["machine"])
+        return (
+            fig6sim_points(
+                n=p["n"], tile=p["tile"], algorithms=p["algorithms"],
+                layouts=p["layouts"], machine=machine,
+            ),
+            lambda rows: fig6sim_merge(
+                rows, n=p["n"], algorithms=p["algorithms"],
+                layouts=p["layouts"],
+            ),
+        )
+    if request.figure == "fault":
+        return (
+            [
+                SweepPoint(
+                    "fault", i, "serve.fault.point",
+                    tuple(sorted({
+                        "index": i,
+                        "sentinel_dir": p["sentinel_dir"],
+                        "kill": i == p["kill_index"],
+                        "n": p["n"],
+                        "tile": p["tile"],
+                    }.items())),
+                )
+                for i in range(p["points"])
+            ],
+            identity,
+        )
+    raise ProtocolError(f"unknown figure {request.figure!r}")  # unreachable
+
+
+@point_function("serve.fault.point")
+def fault_point(
+    *, index: int, sentinel_dir: str, kill: bool, n: int, tile: int
+) -> dict:
+    """Fault-injection point: SIGKILL this worker once, then compute.
+
+    The first execution of the kill point writes a sentinel file and
+    SIGKILLs its own process — from inside a pool worker that breaks
+    the pool mid-sweep, exactly like an OOM kill would.  On retry the
+    sentinel exists, so the point computes its (deterministic) row
+    through the shared trace store like any real figure point.
+    """
+    if kill:
+        sentinel = os.path.join(sentinel_dir, "killed")
+        if not os.path.exists(sentinel):
+            try:
+                os.makedirs(sentinel_dir, exist_ok=True)
+                with open(sentinel, "w") as fh:
+                    fh.write(str(os.getpid()))
+                    fh.flush()
+                    os.fsync(fh.fileno())
+            except OSError:
+                pass  # unwritable sentinel: die on *every* attempt, so
+                #       the retry-exhaustion test can drain the budget
+            os.kill(os.getpid(), signal.SIGKILL)
+    from repro.memsim.store import cached_multiply_stats
+
+    stats = cached_multiply_stats("standard", "LZ", n, tile, scaled(8))
+    return {"index": index, "cycles": stats.cycles,
+            "l1_miss_rate": stats.l1_miss_rate}

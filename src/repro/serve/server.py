@@ -1,0 +1,327 @@
+"""HTTP surface of the simulation service.
+
+The server is pure stdlib: :class:`http.server.ThreadingHTTPServer`
+with one handler class, no framework.  Handler threads parse and
+validate requests (:mod:`repro.serve.protocol`), hand them to the
+:class:`~repro.serve.jobs.JobManager` (whose single dispatcher thread
+does all sweep execution), and block on per-job events — so arbitrary
+client concurrency never races the shared trace store.
+
+Routes::
+
+    POST /v1/sweep      submit a sweep; "wait": false returns 202 with
+                        the job id, "wait": true (default) blocks until
+                        the job finishes and returns its rows
+    GET  /v1/jobs/<id>  job status (+ rows when done)
+    GET  /v1/jobs       the whole job table
+    GET  /healthz       liveness + served figures
+    GET  /metrics       obs registry snapshot + store counters + jobs
+    POST /v1/shutdown   graceful stop (used by tests and the CI smoke)
+
+Every request increments ``serve.requests`` and lands one sample in
+the ``serve.request_seconds`` histogram (via :mod:`repro.clock`, so
+deterministic-timing runs record exact zeros).  On shutdown the server
+flushes a session-level perf-history record (source
+``serve:session`` -> stream ``serve``) whose extra metrics carry the
+request-latency percentiles — that is what feeds the
+``serve.request.p99`` latency budget and the structural
+``serve.sweep.rows`` exact budget in ``repro perf check``.
+
+The readiness contract for black-box harnesses: the first stdout line
+is ``serve: listening on http://HOST:PORT (pid PID)`` (flushed), with
+PORT resolved after bind so ``--port 0`` works.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro import clock, obs
+from repro.memsim.store import default_store
+from repro.serve.jobs import JobManager
+from repro.serve.protocol import ProtocolError, known_figures, parse_request
+
+__all__ = ["ServeApp", "make_server", "run_server"]
+
+#: Default wait bound for a blocking ``POST /v1/sweep`` (seconds).
+DEFAULT_WAIT_TIMEOUT_S = 600.0
+
+
+class ServeApp:
+    """Shared service state: the job manager plus session bookkeeping."""
+
+    def __init__(
+        self, *, pool_jobs: int | None = None, append_history: bool = False
+    ) -> None:
+        self.manager = JobManager(pool_jobs=pool_jobs)
+        self.append_history = append_history
+        self.started_raw = clock.raw_perf_counter()
+        self._history_flushed = False
+        self._flush_lock = threading.Lock()
+
+    # -- payload builders ----------------------------------------------
+
+    def job_payload(self, job, include_rows: bool = True) -> dict:
+        payload = job.public()
+        if include_rows and job.status == "done":
+            payload["rows"] = job.rows
+        return payload
+
+    def metrics_payload(self) -> dict:
+        return {
+            "metrics": obs.registry().snapshot(),
+            "store": default_store().counters(),
+            "jobs": self.manager.stats(),
+            "uptime_seconds": clock.raw_perf_counter() - self.started_raw,
+        }
+
+    def session_record(self) -> dict | None:
+        """The session's perf-history record, or ``None`` when history
+        is off or ``--append-history`` was not passed.
+
+        Histograms flatten to mean/count only in
+        :func:`~repro.perf.history.record_from_obs`, so the latency
+        percentiles the ``serve.request.p99`` budget gates ride in as
+        extra metrics, computed from the session histogram here.
+        """
+        from repro.perf import history_enabled, record_from_obs
+
+        if not (self.append_history and history_enabled()):
+            return None
+        hist = obs.registry().histogram("serve.request_seconds")
+        manifest = obs.build_manifest(
+            command="serve", jobs=self.manager.pool_width()
+        )
+        return record_from_obs(
+            source="serve:session",
+            manifest=manifest,
+            extra_metrics={
+                "serve": {
+                    "request": {
+                        # percentile() is None on an empty histogram; a
+                        # request-free session still writes the keys so
+                        # the p99 budget always has something to gate.
+                        "p50": hist.percentile(50) or 0.0,
+                        "p90": hist.percentile(90) or 0.0,
+                        "p99": hist.percentile(99) or 0.0,
+                    }
+                }
+            },
+        )
+
+    def flush_history(self) -> str | None:
+        """Append the session record to the ``serve`` stream; its path.
+
+        Idempotent: exactly one record per session, whether shutdown
+        came through ``POST /v1/shutdown``, a signal, or both.
+        """
+        from repro.perf import HistoryStore, as_stream_name
+
+        with self._flush_lock:
+            if self._history_flushed:
+                return None
+            record = self.session_record()
+            if record is None:
+                return None
+            path = HistoryStore().append(
+                record, stream=as_stream_name("serve:session")
+            )
+            self._history_flushed = True
+            return str(path)
+
+    def shutdown_manager(self) -> None:
+        self.manager.shutdown()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One HTTP exchange.  All state lives on ``self.server.app``."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def app(self) -> ServeApp:
+        return self.server.app  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:
+        pass  # stdout is the readiness protocol; keep it quiet
+
+    # -- plumbing ------------------------------------------------------
+
+    def _send_json(self, code: int, payload: dict) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        try:
+            self.send_response(code)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            # Client went away mid-response; the job (if any) is done
+            # and cached — nothing to unwind.
+            obs.add("serve.disconnects")
+            self.close_connection = True
+
+    def _read_json_body(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ProtocolError("empty request body; expected JSON")
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(f"request body is not valid JSON: {exc}") from None
+
+    def _timed(self, route: str, fn) -> None:
+        obs.add("serve.requests")
+        t0 = clock.perf_counter()
+        try:
+            fn()
+        except ProtocolError as exc:
+            self._send_json(400, {"error": str(exc)})
+        except (BrokenPipeError, ConnectionResetError):
+            obs.add("serve.disconnects")
+            self.close_connection = True
+        finally:
+            obs.observe("serve.request_seconds", clock.perf_counter() - t0)
+
+    # -- routes --------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        if self.path == "/healthz":
+            self._timed(self.path, self._get_healthz)
+        elif self.path == "/metrics":
+            self._timed(self.path, self._get_metrics)
+        elif self.path == "/v1/jobs":
+            self._timed(self.path, self._get_jobs)
+        elif self.path.startswith("/v1/jobs/"):
+            self._timed(self.path, self._get_job)
+        else:
+            self._send_json(404, {"error": f"no such route: GET {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        if self.path == "/v1/sweep":
+            self._timed(self.path, self._post_sweep)
+        elif self.path == "/v1/shutdown":
+            self._timed(self.path, self._post_shutdown)
+        else:
+            self._send_json(404, {"error": f"no such route: POST {self.path}"})
+
+    def _get_healthz(self) -> None:
+        self._send_json(
+            200,
+            {
+                "status": "ok",
+                "pid": os.getpid(),
+                "figures": known_figures(),
+                "pool_jobs": self.app.manager.pool_width(),
+            },
+        )
+
+    def _get_metrics(self) -> None:
+        self._send_json(200, self.app.metrics_payload())
+
+    def _get_jobs(self) -> None:
+        self._send_json(
+            200,
+            {"jobs": [self.app.job_payload(j, include_rows=False)
+                      for j in self.app.manager.jobs()]},
+        )
+
+    def _get_job(self) -> None:
+        job_id = self.path.rsplit("/", 1)[-1]
+        job = self.app.manager.get(job_id)
+        if job is None:
+            self._send_json(404, {"error": f"no such job: {job_id}"})
+            return
+        self._send_json(200, self.app.job_payload(job))
+
+    def _post_sweep(self) -> None:
+        body = self._read_json_body()
+        request = parse_request(body)
+        wait = body.get("wait", True) if isinstance(body, dict) else True
+        if not isinstance(wait, bool):
+            raise ProtocolError("'wait' must be a boolean")
+        timeout_s = body.get("timeout_s", DEFAULT_WAIT_TIMEOUT_S)
+        if not isinstance(timeout_s, (int, float)) or isinstance(timeout_s, bool) \
+                or timeout_s <= 0:
+            raise ProtocolError("'timeout_s' must be a positive number")
+        job = self.app.manager.submit(request)
+        if wait:
+            job.done.wait(timeout=float(timeout_s))
+        if job.status == "done":
+            self._send_json(200, self.app.job_payload(job))
+        elif job.status == "failed":
+            self._send_json(200, self.app.job_payload(job))
+        else:
+            self._send_json(202, self.app.job_payload(job, include_rows=False))
+
+    def _post_shutdown(self) -> None:
+        history_path = self.app.flush_history()
+        self._send_json(200, {"status": "shutting down",
+                              "history": history_path})
+        # serve_forever() runs in the main thread; shutdown() must be
+        # called from another thread or it deadlocks.
+        threading.Thread(target=self.server.shutdown, daemon=True).start()
+
+
+def make_server(
+    host: str,
+    port: int,
+    *,
+    pool_jobs: int | None = None,
+    append_history: bool = False,
+) -> ThreadingHTTPServer:
+    """A bound (not yet serving) service instance."""
+    server = ThreadingHTTPServer((host, port), _Handler)
+    server.daemon_threads = True
+    server.app = ServeApp(  # type: ignore[attr-defined]
+        pool_jobs=pool_jobs, append_history=append_history
+    )
+    return server
+
+
+def run_server(
+    host: str,
+    port: int,
+    *,
+    pool_jobs: int | None = None,
+    append_history: bool = False,
+) -> int:
+    """Boot the service and serve until shutdown; the CLI entry point.
+
+    Enables obs for the whole session (request metrics, sweep spans),
+    prints the readiness line, installs SIGTERM/SIGINT handlers that
+    stop the serve loop, and on exit flushes the session history record
+    (:meth:`ServeApp.flush_history` is idempotent, so a ``POST
+    /v1/shutdown`` that already flushed makes this a no-op).
+    """
+    obs.set_enabled(True)
+    server = make_server(
+        host, port, pool_jobs=pool_jobs, append_history=append_history
+    )
+    app: ServeApp = server.app  # type: ignore[attr-defined]
+    bound_host, bound_port = server.server_address[:2]
+    print(
+        f"serve: listening on http://{bound_host}:{bound_port} "
+        f"(pid {os.getpid()})",
+        flush=True,
+    )
+
+    def _signal_stop(signum: int, frame: Any) -> None:
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _signal_stop)
+    signal.signal(signal.SIGINT, _signal_stop)
+    try:
+        server.serve_forever()
+    finally:
+        app.flush_history()
+        app.shutdown_manager()
+        server.server_close()
+    return 0

@@ -6,6 +6,26 @@ import pytest
 from repro.layouts.registry import RECURSIVE_LAYOUTS
 
 
+@pytest.fixture(autouse=True)
+def _repro_env_isolation():
+    """Snapshot and restore every ``REPRO_*`` environment variable.
+
+    Several code paths mutate the environment (``repro report --jobs``
+    exports ``REPRO_JOBS`` for its nested subcommand; tests set knobs
+    with plain ``os.environ`` writes), and without restoration a knob
+    set by one test silently changes the behaviour of every test that
+    runs after it in the same process.  The snapshot/restore pair lives
+    in :mod:`repro.knobs` so it tracks the knob prefix in one place.
+    """
+    from repro import knobs
+
+    snapshot = knobs.environ_snapshot()
+    try:
+        yield
+    finally:
+        knobs.environ_restore(snapshot)
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(12345)

@@ -15,7 +15,7 @@ class TestParser:
             "fig1", "fig2", "fig4", "fig5", "fig6", "fig6sim", "fig7",
             "critical", "scaling", "sharing", "conversion", "gemm",
             "accuracy", "verify", "sanitize", "trace", "report",
-            "staticcheck", "lint", "perf",
+            "staticcheck", "lint", "perf", "serve",
         }
 
     def test_requires_command(self, capsys):

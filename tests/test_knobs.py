@@ -66,6 +66,8 @@ class TestRegistry:
             "REPRO_DETERMINISTIC_TIMING", "REPRO_TRACE_SYNTHESIS",
             "REPRO_TRACE_CACHE", "REPRO_TRACE_CACHE_DIR",
             "REPRO_STATICCHECK_DEPTH",
+            "REPRO_SERVE_HOST", "REPRO_SERVE_PORT", "REPRO_SERVE_JOBS",
+            "REPRO_SERVE_MAX_RETRIES", "REPRO_SERVE_TEST_HOOKS",
         ):
             assert expected in names
 
@@ -84,3 +86,48 @@ class TestEffective:
         text = knobs.render_effective()
         for name in knobs.declared_names():
             assert name in text
+
+
+class TestEnvironIsolation:
+    """environ_snapshot / environ_restore: the conftest autouse fixture's
+    machinery, and the fix for subcommands that export REPRO_* vars
+    (``repro report --jobs`` sets REPRO_JOBS for its nested run)."""
+
+    def test_snapshot_holds_only_repro_vars(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        monkeypatch.setenv("NOT_REPRO", "x")
+        snap = knobs.environ_snapshot()
+        assert snap["REPRO_JOBS"] == "3"
+        assert all(name.startswith("REPRO_") for name in snap)
+
+    def test_restore_removes_added_and_reverts_changed(self):
+        import os
+
+        snap = knobs.environ_snapshot()
+        os.environ["REPRO_JOBS"] = "99"
+        os.environ["REPRO_OBS"] = "1"
+        knobs.environ_restore(snap)
+        for name in ("REPRO_JOBS", "REPRO_OBS"):
+            assert os.environ.get(name) == snap.get(name)
+
+    def test_restore_reinstates_deleted(self, monkeypatch):
+        import os
+
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        snap = knobs.environ_snapshot()
+        del os.environ["REPRO_JOBS"]
+        knobs.environ_restore(snap)
+        assert os.environ["REPRO_JOBS"] == "4"
+
+    def test_report_jobs_export_does_not_leak_across_tests(self):
+        """The autouse fixture undoes REPRO_* writes a test makes; this
+        pair (with test_zz companion below) would flake without it."""
+        import os
+
+        os.environ["REPRO_SERVE_PORT"] = "54321"
+        assert knobs.integer("REPRO_SERVE_PORT") == 54321
+
+    def test_zz_previous_test_write_was_rolled_back(self):
+        import os
+
+        assert os.environ.get("REPRO_SERVE_PORT") is None
