@@ -36,6 +36,9 @@ Environment:
   where the ratio is noisy; CI keeps the default.
 * ``SMOKE_SYNTHESIS_FLOOR`` — required symbolic-trace-synthesis vs
   executed-tracer speedup on the fig6sim grid (default 5).
+* ``SMOKE_MULTICONFIG_FLOOR`` — required build-once-query-many
+  reuse-distance-profile speedup vs per-config streaming replay over
+  the 16-machine associativity/TLB grid (default 3).
 """
 
 from __future__ import annotations
@@ -52,7 +55,13 @@ from repro.layouts.registry import PAPER_LAYOUTS
 from repro.memsim.cache import LRUCache, simulate_direct_mapped
 from repro.memsim.engines import lru_hit_mask, simulate_set_associative
 from repro.memsim.hierarchy import simulate_hierarchy
-from repro.memsim.machine import CacheGeometry, modern_like, ultrasparc_like
+from repro.memsim.machine import (
+    CacheGeometry,
+    assoc_scaled,
+    modern_like,
+    ultrasparc_like,
+)
+from repro.memsim.multiconfig import build_profile
 from repro.memsim.store import cached_multiply_trace, default_store
 from repro.memsim.synthesis import expand_table, synthesize_multiply
 from repro.memsim.trace import expand_trace, trace_multiply
@@ -347,6 +356,59 @@ def main(argv=None) -> None:
         print("parallel sweep speedup floor 2x: OK")
     else:
         print(f"parallel sweep speedup floor skipped ({cpus} CPUs)")
+
+    # Multi-config simulation: one reuse-distance profile vs per-config
+    # streaming replay over a 16-machine associativity/TLB grid (all in
+    # one set family, so a single build answers every member).  The
+    # profile answers must equal the streaming simulators' exactly.
+    mc_machines = [
+        assoc_scaled(l1_assoc=l1a, l2_assoc=l2a, tlb_entries=tlb)
+        for l1a in (1, 2, 4, 8)
+        for l2a in (1, 4)
+        for tlb in (8, 32)
+    ]
+    mc_n, mc_tile = 64, 8
+    mc_addresses = cached_multiply_trace(
+        "standard", "LZ", mc_n, mc_tile, mc_machines[0], store=store
+    )
+
+    def run_replay():
+        return [simulate_hierarchy(mc_addresses, m) for m in mc_machines]
+
+    def run_profiled():
+        prof = build_profile(mc_addresses, mc_machines[0])
+        return [prof.query(m) for m in mc_machines]
+
+    replay_seconds, replay_stats = timed(run_replay, repeats=2)
+    profiled_seconds, profiled_stats = timed(run_profiled, repeats=2)
+    assert profiled_stats == replay_stats, (
+        "profile-derived stats diverged from streaming replay"
+    )
+    mc_speedup = replay_seconds / profiled_seconds
+    mc_total_misses = sum(
+        s.l1_misses + s.l2_misses + s.tlb_misses for s in profiled_stats
+    )
+    results["multiconfig"] = {
+        "configs": len(mc_machines),
+        "n": mc_n,
+        "tile": mc_tile,
+        "accesses": int(mc_addresses.size),
+        "replay_seconds": round(replay_seconds, 3),
+        "profiled_seconds": round(profiled_seconds, 3),
+        "speedup": round(mc_speedup, 2),
+        "total_misses": int(mc_total_misses),
+    }
+    print(
+        f"multiconfig ({len(mc_machines)} configs, {mc_addresses.size:,d} "
+        f"accesses): replay {replay_seconds:.3f}s, profiled "
+        f"{profiled_seconds:.3f}s, {mc_speedup:.2f}x"
+    )
+    mc_floor = float(os.environ.get("SMOKE_MULTICONFIG_FLOOR", "3"))
+    assert mc_speedup >= mc_floor, (
+        f"multiconfig: {mc_speedup:.2f}x < required {mc_floor}x vs "
+        f"per-config replay"
+    )
+    print(f"multiconfig speedup floor {mc_floor}x: OK")
 
     results["trace_cache"].update(store.counters())
     results["provenance"] = build_manifest(

@@ -48,6 +48,7 @@ from repro.analysis import (
     fig4_tile_size_sweep,
     fig5_robustness,
     fig6_layout_comparison,
+    fig6_machine_scaling,
     fig6_simulated,
     fig7_kernel_tiers,
     format_table,
@@ -125,6 +126,22 @@ def _cmd_fig6sim(args) -> None:
         [[r["algorithm"], r["layout"], r["sim_cycles_per_flop"], r["vs_LC"]]
          for r in rows],
         f"Figure 6 (simulated memory cost, n={args.n})",
+    ))
+
+
+def _cmd_fig6ms(args) -> None:
+    rows = fig6_machine_scaling(
+        n=args.n, tile=args.tile,
+        l1_assocs=tuple(args.l1_assocs), l2_assocs=tuple(args.l2_assocs),
+        tlb_entries=tuple(args.tlb_entries), jobs=args.jobs,
+    )
+    print(format_table(
+        ["algorithm", "layout", "L1 ways", "L2 ways", "TLB",
+         "L1 miss rate", "cycles/flop", "vs LC"],
+        [[r["algorithm"], r["layout"], r["l1_assoc"], r["l2_assoc"],
+          r["tlb_entries"], r["l1_miss_rate"], r["cycles_per_flop"],
+          r["vs_LC"]] for r in rows],
+        f"Figure 6 (machine scaling: associativity/TLB grid, n={args.n})",
     ))
 
 
@@ -495,6 +512,18 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--jobs", "-j", type=int, default=None, help=jobs_help)
     s.set_defaults(fn=_cmd_fig6sim)
 
+    s = sub.add_parser(
+        "fig6ms", help="layout comparison across machine models "
+        "(associativity/TLB grid, one shared trace per pair)"
+    )
+    s.add_argument("--n", type=int, default=48)
+    s.add_argument("--tile", type=int, default=8)
+    s.add_argument("--l1-assocs", type=int, nargs="+", default=[1, 2, 4, 8])
+    s.add_argument("--l2-assocs", type=int, nargs="+", default=[1, 4])
+    s.add_argument("--tlb-entries", type=int, nargs="+", default=[8, 32])
+    s.add_argument("--jobs", "-j", type=int, default=None, help=jobs_help)
+    s.set_defaults(fn=_cmd_fig6ms)
+
     s = sub.add_parser("fig7", help="kernel tiers (Figure 7)")
     s.add_argument("--n", type=int, default=96)
     s.add_argument("--repeats", type=int, default=2)
@@ -648,7 +677,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 #: Sweep subcommands whose obs metrics feed the perf-history store.
-_HISTORY_COMMANDS = frozenset({"fig4", "fig5", "fig6", "fig6sim"})
+_HISTORY_COMMANDS = frozenset({"fig4", "fig5", "fig6", "fig6sim", "fig6ms"})
 
 
 def _write_run_manifest(args, argv: list[str] | None) -> None:

@@ -12,7 +12,9 @@ from repro.analysis.experiments import (
     fig4_tile_size_sweep,
     fig5_robustness,
     fig6_layout_comparison,
+    fig6_machine_scaling,
     fig6_simulated,
+    fig6ms_merge,
     fig6sim_merge,
     fig7_kernel_tiers,
     scaling_table,
@@ -44,7 +46,9 @@ __all__ = [
     "fig4_tile_size_sweep",
     "fig5_robustness",
     "fig6_layout_comparison",
+    "fig6_machine_scaling",
     "fig6_simulated",
+    "fig6ms_merge",
     "fig6sim_merge",
     "fig7_kernel_tiers",
     "scaling_table",

@@ -26,6 +26,7 @@ from repro.analysis.parallel import (
     fig4_points,
     fig5_points,
     fig6_points,
+    fig6ms_points,
     fig6sim_points,
     run_sweep,
 )
@@ -234,6 +235,58 @@ def fig6sim_merge(
                     / per_layout.get("LC", per_layout[lay]),
                 }
             )
+    return rows
+
+
+def fig6_machine_scaling(
+    n: int = 48,
+    tile: int = 8,
+    algorithms: Sequence[str] = ("standard", "strassen"),
+    layouts: Sequence[str] = ("LC", "LZ"),
+    l1_assocs: Sequence[int] = (1, 2, 4, 8),
+    l2_assocs: Sequence[int] = (1, 4),
+    tlb_entries: Sequence[int] = (8, 32),
+    jobs: int | None = None,
+) -> list[dict]:
+    """Machine-scaling sensitivity sweep: one trace, many machine models.
+
+    How much of the recursive layouts' win survives as associativity
+    buys out conflict misses?  Every (algorithm, layout) trace is priced
+    on the full associativity/TLB grid of
+    :func:`~repro.memsim.machine.assoc_scaled` — the canonical consumer
+    of the multi-config reuse-distance profile: per trace, one profile
+    build answers the entire machine grid by histogram suffix-sums
+    (``REPRO_MULTICONFIG=0`` replays each config through the streaming
+    simulators instead; rows are byte-identical either way).
+    """
+    points = fig6ms_points(
+        n=n, tile=tile, algorithms=algorithms, layouts=layouts,
+        l1_assocs=l1_assocs, l2_assocs=l2_assocs, tlb_entries=tlb_entries,
+    )
+    with obs.span("fig6ms", n=n, tile=tile, configs=len(points)):
+        raw = run_sweep(points, jobs=jobs)
+    return fig6ms_merge(raw, n=n, layouts=layouts)
+
+
+def fig6ms_merge(raw: list[dict], *, n: int, layouts: Sequence[str]) -> list[dict]:
+    """Merge step of :func:`fig6_machine_scaling`: derive cycles/flop and
+    the per-machine vs-L_C ratio (needs the whole layout row group for
+    each machine config).  Shared with the simulation service."""
+    cycles = {
+        (r["algorithm"], r["layout"], r["l1_assoc"], r["l2_assoc"],
+         r["tlb_entries"]): r["cycles"]
+        for r in raw
+    }
+    flops = 2.0 * n**3
+    rows = []
+    for r in raw:
+        machine_key = (r["algorithm"], r["l1_assoc"], r["l2_assoc"],
+                       r["tlb_entries"])
+        lc = cycles.get((machine_key[0], "LC", *machine_key[1:]))
+        row = {k: v for k, v in r.items() if k != "cycles"}
+        row["cycles_per_flop"] = r["cycles"] / flops
+        row["vs_LC"] = r["cycles"] / lc if lc else 1.0
+        rows.append(row)
     return rows
 
 

@@ -55,11 +55,12 @@ from repro import knobs, obs
 from repro.algorithms.dgemm import dgemm
 from repro.analysis.timing import measure
 from repro.matrix.tile import TileRange
-from repro.memsim.machine import MachineModel
+from repro.memsim.machine import MachineModel, assoc_scaled
 from repro.memsim.store import (
     cached_multiply_stats,
     cached_synthetic_stats,
     default_store,
+    trace_address,
 )
 
 __all__ = [
@@ -75,6 +76,7 @@ __all__ = [
     "fig5_points",
     "fig6_points",
     "fig6sim_points",
+    "fig6ms_points",
 ]
 
 
@@ -113,20 +115,27 @@ class SweepPoint:
     index: int
     fn: str
     params: tuple[tuple[str, Any], ...]
+    #: Work-sharing key: points with equal non-None groups simulate the
+    #: same trace (e.g. machine-model sweeps over one multiply), so the
+    #: pooled executor schedules them onto one worker where the warm
+    #: reuse-distance profile answers every member after the first.
+    group: str | None = None
 
     def kwargs(self) -> dict[str, Any]:
         """The point function's keyword arguments as a dict."""
         return dict(self.params)
 
 
-def make_point(fig: str, index: int, fn: str, **params) -> SweepPoint:
+def make_point(
+    fig: str, index: int, fn: str, *, group: str | None = None, **params
+) -> SweepPoint:
     """Build a :class:`SweepPoint`, validating the function name."""
     if fn not in POINT_FUNCTIONS:
         raise KeyError(
             f"unknown point function {fn!r}; registered: "
             f"{sorted(POINT_FUNCTIONS)}"
         )
-    return SweepPoint(fig, index, fn, tuple(sorted(params.items())))
+    return SweepPoint(fig, index, fn, tuple(sorted(params.items())), group)
 
 
 def run_point(point: SweepPoint) -> dict:
@@ -202,6 +211,30 @@ def _worker_call(point: SweepPoint) -> dict:
         if _WORKER_DIR:
             _append_worker_spans(_WORKER_DIR, records)
     return payload
+
+
+def _worker_call_batch(points: Sequence[SweepPoint]) -> list[dict]:
+    """Run a profile-sharing group of points in one worker, in order.
+
+    Each point still produces its own :func:`_worker_call` payload (the
+    per-task counter/obs delta contract is unchanged); co-locating the
+    group simply means members after the first find the trace and its
+    reuse-distance profile warm in this process's store.
+    """
+    return [_worker_call(p) for p in points]
+
+
+def _group_batches(points: Sequence[SweepPoint]) -> list[list[SweepPoint]]:
+    """Bucket points by sharing group, in first-seen order.
+
+    Ungrouped points (``group is None``) stay singleton batches, so
+    sweeps that never set a group schedule exactly as before.
+    """
+    batches: dict[Any, list[SweepPoint]] = {}
+    for point in points:
+        key: Any = point.group if point.group is not None else ("solo", point.index)
+        batches.setdefault(key, []).append(point)
+    return list(batches.values())
 
 
 # -- execution and merge -----------------------------------------------
@@ -288,12 +321,23 @@ def run_sweep(
             initializer=_pool_init,
             initargs=(obs.enabled(), worker_dir),
         )
+    batches = _group_batches(points)
+    obs.observe("sweep.groups", len(batches))
     payloads = []
     with obs.span("sweep.pool", fig=points[0].fig, points=len(points), jobs=jobs):
         with executor_factory(jobs) as executor:
-            futures = [executor.submit(_worker_call, p) for p in points]
+            futures = [
+                executor.submit(_worker_call, batch[0])
+                if len(batch) == 1
+                else executor.submit(_worker_call_batch, batch)
+                for batch in batches
+            ]
             for fut in as_completed(futures):
-                payloads.append(fut.result())
+                result = fut.result()
+                if isinstance(result, list):
+                    payloads.extend(result)
+                else:
+                    payloads.append(result)
     return merge_payloads(points, payloads)
 
 
@@ -355,6 +399,11 @@ def fig4_points(
     return [
         make_point(
             "fig4", i, "fig4.point",
+            group=(
+                trace_address(algorithm, layout, n, t, machine)
+                if include_memsim
+                else None
+            ),
             n=n, tile=t, algorithm=algorithm, layout=layout,
             repeats=repeats, machine=machine, include_memsim=include_memsim,
         )
@@ -496,7 +545,75 @@ def fig6sim_points(
             points.append(
                 make_point(
                     "fig6sim", len(points), "fig6sim.point",
+                    group=trace_address(algo, lay, n, tile, machine),
                     algorithm=algo, layout=lay, n=n, tile=tile, machine=machine,
                 )
             )
+    return points
+
+
+# -- figure 6 machine scaling: one trace, many machine models ----------
+
+@point_function("fig6ms.point")
+def fig6ms_point(
+    *, algorithm: str, layout: str, n: int, tile: int, machine: MachineModel
+) -> dict:
+    """One machine-scaling point: miss rates of one algorithm x layout
+    on one associativity/TLB configuration.
+
+    Every point of an (algorithm, layout) row group replays the *same*
+    trace, so the grid is the multi-config profile's home turf: the
+    first member builds the reuse-distance profile, the rest answer by
+    histogram suffix-sums.
+    """
+    with obs.span("fig6ms.point", algorithm=algorithm, layout=layout,
+                  l1_assoc=machine.l1.assoc, l2_assoc=machine.l2.assoc):
+        st = cached_multiply_stats(algorithm, layout, n, tile, machine)
+    return {
+        "algorithm": algorithm,
+        "layout": layout,
+        "n": n,
+        "l1_assoc": machine.l1.assoc,
+        "l1_kb": machine.l1.size // 1024,
+        "l2_assoc": machine.l2.assoc,
+        "l2_kb": machine.l2.size // 1024,
+        "tlb_entries": machine.tlb_entries,
+        "l1_miss_rate": st.l1_miss_rate,
+        "l2_miss_rate": st.l2_miss_rate,
+        "tlb_misses": st.tlb_misses,
+        "cycles": st.cycles,
+    }
+
+
+def fig6ms_points(
+    *,
+    n: int,
+    tile: int,
+    algorithms: Sequence[str],
+    layouts: Sequence[str],
+    l1_assocs: Sequence[int],
+    l2_assocs: Sequence[int],
+    tlb_entries: Sequence[int],
+    machine_factory: Callable[[int, int, int], MachineModel] = assoc_scaled,
+) -> list[SweepPoint]:
+    """Machine-scaling grid: algorithm x layout x L1-way x L2-way x TLB,
+    grouped by trace content-address (machine axes share one trace)."""
+    points = []
+    for algo in algorithms:
+        for lay in layouts:
+            group = trace_address(
+                algo, lay, n, tile,
+                machine_factory(l1_assocs[0], l2_assocs[0], tlb_entries[0]),
+            )
+            for l1a in l1_assocs:
+                for l2a in l2_assocs:
+                    for tlb in tlb_entries:
+                        points.append(
+                            make_point(
+                                "fig6ms", len(points), "fig6ms.point",
+                                group=group,
+                                algorithm=algo, layout=lay, n=n, tile=tile,
+                                machine=machine_factory(l1a, l2a, tlb),
+                            )
+                        )
     return points

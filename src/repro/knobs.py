@@ -202,6 +202,15 @@ declare(
     "Expose the service's fault-injection test figure ('fault'); never "
     "set outside the black-box service test suite.",
 )
+declare(
+    "REPRO_MULTICONFIG",
+    "flag",
+    True,
+    "Answer cache-hierarchy stats from shared reuse-distance profiles "
+    "(one vectorized pass per trace, histogram suffix-sums per machine "
+    "config); set to 0 to revert every consumer to the per-config "
+    "streaming simulators.",
+)
 
 
 # ---------------------------------------------------------------------------
@@ -328,6 +337,21 @@ declare_budget(
     "Structural: total sweep rows served across a fixed service-session "
     "workload; the only serve key gated under "
     "REPRO_DETERMINISTIC_TIMING, bit-for-bit.",
+)
+declare_budget(
+    "multiconfig.speedup",
+    "higher_better",
+    0.40,
+    "Build-once-query-many reuse-distance profile vs per-config "
+    "streaming replay over the perf_smoke machine grid.",
+)
+declare_budget(
+    "multiconfig.total_misses",
+    "exact",
+    0.0,
+    "Structural: total profile-derived misses (L1+L2+TLB) summed over "
+    "the perf_smoke machine grid; must match the streaming simulators "
+    "bit-for-bit.",
 )
 
 

@@ -64,6 +64,8 @@ from repro.memsim.machine import CacheGeometry
 __all__ = [
     "stable_argsort_bounded",
     "prev_occurrence",
+    "stack_distances",
+    "set_stack_distances",
     "lru_hit_mask",
     "fully_associative_hits",
     "set_associative_miss_lines",
@@ -169,6 +171,8 @@ def _window_distinct(prev: np.ndarray, idx: np.ndarray) -> np.ndarray:
         group = order[pos:end]
         pos = end
         width = int(lens[group].max())
+        if width <= 0:
+            continue  # zero-length windows: distinct count stays 0
         rows = max(1, volume // width)
         ar = np.arange(width, dtype=np.int32)
         for s in range(0, group.size, rows):
@@ -207,6 +211,121 @@ def _scalar_capped_fallback(
             del stack[next(iter(stack))]
         stack[key] = None
     return out[idx]
+
+
+def _scalar_stack_distances(keys: np.ndarray) -> np.ndarray:
+    """Exact per-access stack distances by one Fenwick-tree walk.
+
+    A 1-bit marks the *latest* occurrence position of every key seen so
+    far; the distinct count of the reuse window ``(p, i)`` is then the
+    number of set bits in positions ``p+1 .. i-1``.  O(n log n), used
+    only when the windowed gathers of :func:`stack_distances` would
+    exceed the residual budget.
+    """
+    keys = np.asarray(keys)
+    n = keys.size
+    sd = np.full(n, -1, dtype=np.int32)
+    tree = [0] * (n + 1)
+    last: dict[int, int] = {}
+
+    def add(i: int, d: int) -> None:
+        i += 1
+        while i <= n:
+            tree[i] += d
+            i += i & -i
+
+    def prefix(i: int) -> int:  # set bits at positions < i
+        s = 0
+        while i > 0:
+            s += tree[i]
+            i -= i & -i
+        return s
+
+    for i, key in enumerate(keys.tolist()):
+        p = last.get(key, -1)
+        if p >= 0:
+            sd[i] = prefix(i) - prefix(p + 1)
+            add(p, -1)
+        add(i, 1)
+        last[key] = i
+    return sd
+
+
+def stack_distances(keys: np.ndarray, prev: np.ndarray | None = None) -> np.ndarray:
+    """Exact LRU stack distance of every access (-1 on first touch).
+
+    The stack distance is the number of *distinct* keys accessed since
+    the previous access to the same key; an access hits a
+    fully-associative LRU of capacity ``C`` iff its distance is below
+    ``C``, so one distance array answers every capacity at once
+    (Mattson).  Reuses the engine's lockstep-chain machinery: only each
+    chain's base pays a from-scratch :func:`_window_distinct` count, the
+    members resolve by the exact sliding-window recurrence, and an
+    adversarial residual volume falls back to an exact Fenwick walk.
+    """
+    keys = np.asarray(keys)
+    n = keys.size
+    if n == 0:
+        return np.zeros(0, dtype=np.int32)
+    if prev is None:
+        prev = prev_occurrence(keys)
+    prev = prev.astype(np.int32, copy=False)
+    sd = np.full(n, -1, dtype=np.int32)
+    has_prev = prev >= 0
+    und = np.flatnonzero(has_prev).astype(np.int32)
+    if und.size == 0:
+        return sd
+    p_u = prev[und]
+    chain = np.zeros(und.size, dtype=bool)
+    if und.size > 1:
+        chain[1:] = (np.diff(und) == 1) & (np.diff(p_u) == 1)
+    bases = und[~chain]
+    base_volume = int((bases.astype(np.int64) - prev[bases] - 1).sum())
+    if base_volume > _RESIDUAL_BUDGET:
+        return _scalar_stack_distances(keys)
+    sd_bases = _window_distinct(prev, bases)
+    pos = np.arange(n, dtype=np.int32)
+    nxt = np.full(n, np.iinfo(np.int32).max, dtype=np.int32)
+    nxt[prev[has_prev]] = pos[has_prev]
+    # sd(i) = sd(i-1) + [prev(i-1) <= p] + [next(p) <= i-2] - 1
+    delta = (
+        (prev[und - 1] <= p_u).astype(np.int32)
+        + (nxt[p_u] <= und - 2).astype(np.int32)
+        - 1
+    )
+    delta[~chain] = 0
+    run_sums = np.cumsum(delta, dtype=np.int32)
+    run_id = np.cumsum(~chain, dtype=np.int32)  # 1-based run number
+    base_positions = np.flatnonzero(~chain)
+    rel = run_sums - run_sums[base_positions][run_id - 1]
+    sd[und] = sd_bases[run_id - 1] + rel
+    return sd
+
+
+def set_stack_distances(lines: np.ndarray, n_sets: int) -> np.ndarray:
+    """Exact within-set stack distances of a line-id stream, in program
+    order (-1 on first touch).
+
+    The trace is grouped by set index with the stable counting sort
+    (every set's accesses become contiguous and chronologically
+    ordered, and a line's reuse window never leaves its own segment),
+    so the grouped fully-associative distances *are* the per-set
+    distances; an access misses a ``(n_sets, assoc)`` LRU cache iff
+    ``sd < 0 or sd >= assoc`` — one array answers every associativity
+    of the set family.
+    """
+    lines = np.asarray(lines)
+    n = lines.size
+    if n == 0:
+        return np.zeros(0, dtype=np.int32)
+    if n_sets == 1:
+        return stack_distances(lines)
+    sets = lines % n_sets
+    order = stable_argsort_bounded(sets)
+    grouped = lines[order]
+    sd = np.empty(n, dtype=np.int32)
+    sd[order] = stack_distances(grouped)
+    return sd
 
 
 def _lru_hit_core(keys: np.ndarray, prev: np.ndarray, capacity: int) -> np.ndarray:

@@ -45,6 +45,7 @@ from repro.memsim.machine import CacheGeometry, MachineModel
 __all__ = [
     "MemoryStats",
     "simulate_hierarchy",
+    "simulate_hierarchy_multi",
     "HierarchySimulator",
     "simulate_hierarchy_chunked",
 ]
@@ -139,6 +140,49 @@ def simulate_hierarchy(
             obs.gauge("memsim.events_per_sec", n / elapsed)
         obs.observe("memsim.simulate_seconds", elapsed)
     return MemoryStats(n, l1_misses, l2_misses, tlb_misses, cycles)
+
+
+def simulate_hierarchy_multi(
+    addresses: np.ndarray,
+    machines: list[MachineModel],
+    include_tlb: bool = True,
+) -> list[MemoryStats]:
+    """Price one trace on many machine models, amortizing the work.
+
+    With ``REPRO_MULTICONFIG`` on, machines are grouped by config
+    family (:class:`~repro.memsim.multiconfig.ConfigFamily`) and each
+    family pays one reuse-distance profile build; every member then
+    answers by histogram suffix-sums — bit-identical to calling
+    :func:`simulate_hierarchy` per machine, which is exactly what the
+    knob-off path does.
+    """
+    # Late import: multiconfig builds on this module's MemoryStats.
+    from repro.memsim import multiconfig
+
+    if not multiconfig.multiconfig_enabled():
+        return [
+            simulate_hierarchy(addresses, m, include_tlb=include_tlb)
+            for m in machines
+        ]
+    profiles: dict[multiconfig.ConfigFamily, multiconfig.ReuseProfile] = {}
+    for machine in machines:
+        family = multiconfig.ConfigFamily.of(machine)
+        prof = profiles.get(family)
+        if prof is None or not prof.supports(machine):
+            # One build serves the whole family: precompute L2 histograms
+            # for every L1 associativity appearing in it.
+            extra = {
+                m.l1.assoc
+                for m in machines
+                if multiconfig.ConfigFamily.of(m) == family
+            }
+            profiles[family] = multiconfig.build_profile(
+                addresses, machine, extra_assocs=extra
+            )
+    return [
+        profiles[multiconfig.ConfigFamily.of(m)].query(m, include_tlb=include_tlb)
+        for m in machines
+    ]
 
 
 def _lru_state_lines(lines: np.ndarray, n_sets: int, assoc: int) -> np.ndarray:

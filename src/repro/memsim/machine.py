@@ -20,7 +20,14 @@ from __future__ import annotations
 
 import dataclasses
 
-__all__ = ["CacheGeometry", "MachineModel", "ultrasparc_like", "modern_like", "scaled"]
+__all__ = [
+    "CacheGeometry",
+    "MachineModel",
+    "ultrasparc_like",
+    "modern_like",
+    "scaled",
+    "assoc_scaled",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -111,4 +118,32 @@ def scaled(factor: int = 4) -> MachineModel:
         l2=CacheGeometry(l2_size, 64, 1),
         tlb_entries=max(8, 64 // factor),
         page=max(512, 8192 // factor),
+    )
+
+
+def assoc_scaled(
+    l1_assoc: int = 1, l2_assoc: int = 1, tlb_entries: int = 16
+) -> MachineModel:
+    """Associativity-scaling geometry with *fixed* set counts.
+
+    Holds 64 L1 sets (32-byte lines) and 256 L2 sets (64-byte lines)
+    while capacity grows with the way count, so every member of the
+    grid shares one ``(line, n_sets)`` config family — the shape the
+    multi-config reuse-distance profile answers from a single build
+    (:mod:`repro.memsim.multiconfig`).  This is the machine-scaling
+    axis of the paper's sensitivity question: how much of the recursive
+    layouts' win survives as associativity buys out conflict misses.
+    """
+    if l1_assoc < 1 or l2_assoc < 1:
+        raise ValueError(
+            f"associativities must be >= 1, got {l1_assoc}/{l2_assoc}"
+        )
+    return MachineModel(
+        name=f"assoc-l1w{l1_assoc}-l2w{l2_assoc}-tlb{tlb_entries}",
+        l1=CacheGeometry(64 * 32 * l1_assoc, 32, l1_assoc),
+        l2=CacheGeometry(256 * 64 * l2_assoc, 64, l2_assoc),
+        tlb_entries=tlb_entries,
+        page=2048,
+        l2_hit=12.0,
+        mem=60.0,
     )

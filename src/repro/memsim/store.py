@@ -40,6 +40,12 @@ import numpy as np
 from repro import knobs, obs
 from repro.memsim.hierarchy import MemoryStats, simulate_hierarchy
 from repro.memsim.machine import MachineModel
+from repro.memsim.multiconfig import (
+    ConfigFamily,
+    ReuseProfile,
+    build_profile,
+    multiconfig_enabled,
+)
 from repro.memsim.synthesis import (
     EventTable,
     UnsupportedSynthesis,
@@ -57,6 +63,7 @@ from repro.memsim.trace import expand_trace, trace_multiply
 __all__ = [
     "TraceStore",
     "default_store",
+    "trace_address",
     "cached_multiply_trace",
     "cached_multiply_stats",
     "cached_synthetic_trace",
@@ -101,6 +108,11 @@ class TraceStore:
         self.trace_misses = 0
         self.stats_hits = 0
         self.stats_misses = 0
+        self.profile_hits = 0
+        self.profile_misses = 0
+        # Warm reuse-distance profiles by content key (bounded; a sweep
+        # touches a handful of trace/family pairs, not thousands).
+        self._profiles: dict[str, ReuseProfile] = {}
         # Content addresses this store touched, in first-touch order:
         # key -> "hit" | "miss".  Run manifests embed these so any output
         # can name the exact cached artifacts it was computed from.
@@ -115,12 +127,15 @@ class TraceStore:
             "trace_misses": self.trace_misses,
             "stats_hits": self.stats_hits,
             "stats_misses": self.stats_misses,
+            "profile_hits": self.profile_hits,
+            "profile_misses": self.profile_misses,
         }
 
     def reset_counters(self) -> None:
         """Zero all hit/miss counters and the touched-key record."""
         self.trace_hits = self.trace_misses = 0
         self.stats_hits = self.stats_misses = 0
+        self.profile_hits = self.profile_misses = 0
         self._touched.clear()
 
     def touched_map(self) -> dict[str, str]:
@@ -144,6 +159,8 @@ class TraceStore:
         self.trace_misses += int(counters.get("trace_misses", 0))
         self.stats_hits += int(counters.get("stats_hits", 0))
         self.stats_misses += int(counters.get("stats_misses", 0))
+        self.profile_hits += int(counters.get("profile_hits", 0))
+        self.profile_misses += int(counters.get("profile_misses", 0))
         for key, verdict in (touched or {}).items():
             self._touched.setdefault(key, verdict)
 
@@ -211,6 +228,61 @@ class TraceStore:
         self._write_atomic(path, lambda tmp: np.save(tmp, arr))
         return arr
 
+    def profile(
+        self, fields: dict, machine: MachineModel, build_trace
+    ) -> ReuseProfile:
+        """Reuse-distance profile of the trace behind ``fields``, for
+        ``machine``'s config family, memoized in memory and on disk.
+
+        The key covers only the trace identity and the family — every
+        machine model differing in capacity, associativity or cycle
+        costs answers from the same artifact.  A persisted profile
+        missing the machine's L1 associativity counts as a miss and is
+        rebuilt with the union of associativities.
+        """
+        key = self.key_of(
+            {
+                "kind": "profile",
+                "v": _STORE_VERSION,
+                "fields": fields,
+                "expand": _expansion_fingerprint(machine),
+                "family": dataclasses.asdict(ConfigFamily.of(machine)),
+            }
+        )
+        prof = self._profiles.get(key)
+        if prof is None:
+            path = self._path(key, ".npz")
+            if path.exists():
+                try:
+                    with open(path, "rb") as fh:
+                        prof = ReuseProfile.load(fh)
+                except (OSError, ValueError, KeyError):
+                    prof = None  # corrupt/partial file: rebuild below
+        if prof is not None and prof.supports(machine):
+            self.profile_hits += 1
+            self._touch("profile", key, hit=True)
+            obs.add("multiconfig.profile_hits")
+            self._remember_profile(key, prof)
+            return prof
+        self.profile_misses += 1
+        self._touch("profile", key, hit=False)
+        addrs = self.trace(fields, machine, build_trace)
+        extra = tuple(prof.l2) if prof is not None else ()
+        prof = build_profile(addrs, machine, extra_assocs=extra)
+
+        def _save(tmp: Path) -> None:
+            with open(tmp, "wb") as fh:
+                prof.save(fh)
+
+        self._write_atomic(self._path(key, ".npz"), _save)
+        self._remember_profile(key, prof)
+        return prof
+
+    def _remember_profile(self, key: str, prof: ReuseProfile) -> None:
+        self._profiles[key] = prof
+        while len(self._profiles) > 64:
+            self._profiles.pop(next(iter(self._profiles)))
+
     def stats(
         self,
         fields: dict,
@@ -223,11 +295,22 @@ class TraceStore:
         On a stats hit neither the trace expansion nor the simulation
         runs.  On a stats miss the trace itself still goes through
         :meth:`trace`, so a second geometry sharing the expansion
-        fingerprint reuses the address file.
+        fingerprint reuses the address file — and with
+        ``REPRO_MULTICONFIG`` on, the miss is answered from the shared
+        reuse-distance profile (:meth:`profile`) instead of a streaming
+        replay, so a second machine model in the same config family
+        costs only a histogram suffix sum.  Both paths produce
+        bit-identical :class:`MemoryStats` (property-tested), so either
+        may fill a stats slot the other reads and ``_STORE_VERSION``
+        stays put.
         """
         if not self.enabled:
             addrs = np.asarray(build_trace(), dtype=np.int64)
-            st = simulate_hierarchy(addrs, machine, include_tlb=include_tlb)
+            if multiconfig_enabled():
+                prof = build_profile(addrs, machine)
+                st = prof.query(machine, include_tlb=include_tlb)
+            else:
+                st = simulate_hierarchy(addrs, machine, include_tlb=include_tlb)
             st.publish()
             return st
         key = self.key_of(
@@ -253,9 +336,14 @@ class TraceStore:
                 return st
         self.stats_misses += 1
         self._touch("stats", key, hit=False)
-        addrs = self.trace(fields, machine, build_trace)
-        with obs.span("store.stats.simulate", key=key[:16], **fields):
-            st = simulate_hierarchy(addrs, machine, include_tlb=include_tlb)
+        if multiconfig_enabled():
+            prof = self.profile(fields, machine, build_trace)
+            with obs.span("store.stats.simulate", key=key[:16], **fields):
+                st = prof.query(machine, include_tlb=include_tlb)
+        else:
+            addrs = self.trace(fields, machine, build_trace)
+            with obs.span("store.stats.simulate", key=key[:16], **fields):
+                st = simulate_hierarchy(addrs, machine, include_tlb=include_tlb)
         blob = json.dumps(dataclasses.asdict(st))
         self._write_atomic(path, lambda tmp: tmp.write_text(blob))
         st.publish()
@@ -315,6 +403,33 @@ def _multiply_builder(algorithm, layout, n, tile, machine, mode, depth):
         return expand_trace(events, machine, sizes)
 
     return build
+
+
+def trace_address(
+    algorithm: str,
+    layout: str,
+    n: int,
+    tile: int,
+    machine: MachineModel,
+    *,
+    mode: str = "accumulate",
+    depth: int | None = None,
+) -> str:
+    """Content address of one multiply's expanded trace.
+
+    Sweep drivers group points by this key: two points share it iff
+    they simulate the *same* address stream (machine pricing fields do
+    not enter), so scheduling a group onto one worker lets every member
+    after the first answer from the warm reuse-distance profile.
+    """
+    return TraceStore.key_of(
+        {
+            "kind": "trace",
+            "v": _STORE_VERSION,
+            "fields": _multiply_fields(algorithm, layout, n, tile, mode, depth),
+            "expand": _expansion_fingerprint(machine),
+        }
+    )
 
 
 def cached_multiply_trace(

@@ -41,6 +41,7 @@ from typing import Any, Callable, Optional
 
 from repro import knobs, obs
 from repro.analysis import parallel
+from repro.memsim.store import default_store
 from repro.serve.protocol import SweepRequest, build_sweep
 
 __all__ = ["Job", "JobManager"]
@@ -211,6 +212,11 @@ class JobManager:
         job.status = "running"
         points, merge = build_sweep(job.request)
         retries = max(0, knobs.integer("REPRO_SERVE_MAX_RETRIES") or 0)
+        # Warm reuse-distance profiles shared across coalesced jobs: the
+        # dispatcher is the store's single writer, so the counter delta
+        # across the sweep is exactly this job's profile reuse (worker
+        # counters fold in through the payload merge).
+        hits_before = default_store().counters().get("profile_hits", 0)
         with obs.span(
             "serve.job", fig=job.request.figure, points=len(points),
             jobs=job.request.jobs,
@@ -248,6 +254,9 @@ class JobManager:
                 job.status = "done"
                 obs.add("serve.jobs.executed")
                 obs.add("serve.sweep.rows", len(job.rows))
+                hits = default_store().counters().get("profile_hits", 0)
+                if hits > hits_before:
+                    obs.add("serve.profile_hits", hits - hits_before)
                 return
 
     # -- shutdown ------------------------------------------------------

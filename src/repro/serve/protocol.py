@@ -49,12 +49,13 @@ import signal
 from typing import Any, Callable, Sequence
 
 from repro import knobs
-from repro.analysis.experiments import fig6sim_merge
+from repro.analysis.experiments import fig6ms_merge, fig6sim_merge
 from repro.analysis.parallel import (
     SweepPoint,
     fig4_points,
     fig5_points,
     fig6_points,
+    fig6ms_points,
     fig6sim_points,
     point_function,
 )
@@ -285,6 +286,24 @@ def _normalize_fig6sim(params: dict) -> dict:
     }
 
 
+def _normalize_fig6ms(params: dict) -> dict:
+    _reject_unknown(params, (
+        "n", "tile", "algorithms", "layouts", "l1_assocs", "l2_assocs",
+        "tlb_entries",
+    ))
+    # Machine models are derived server-side (the assoc_scaled family),
+    # so every grid member shares one config family and one trace.
+    return {
+        "n": _pos_int(params, "n", 48),
+        "tile": _pos_int(params, "tile", 8),
+        "algorithms": _str_list(params, "algorithms", ("standard", "strassen")),
+        "layouts": _str_list(params, "layouts", ("LC", "LZ")),
+        "l1_assocs": _int_list(params, "l1_assocs", (1, 2, 4, 8)),
+        "l2_assocs": _int_list(params, "l2_assocs", (1, 4)),
+        "tlb_entries": _int_list(params, "tlb_entries", (8, 32)),
+    }
+
+
 def _normalize_fault(params: dict) -> dict:
     if not knobs.flag("REPRO_SERVE_TEST_HOOKS"):
         raise ProtocolError(
@@ -314,11 +333,12 @@ _NORMALIZERS: dict[str, Callable[[dict], dict]] = {
     "fig5": _normalize_fig5,
     "fig6": _normalize_fig6,
     "fig6sim": _normalize_fig6sim,
+    "fig6ms": _normalize_fig6ms,
     "fault": _normalize_fault,
 }
 
 #: Publicly served figures (the 4xx error surface and ``/healthz``).
-FIGURES = ("fig4", "fig5", "fig6", "fig6sim")
+FIGURES = ("fig4", "fig5", "fig6", "fig6sim", "fig6ms")
 
 
 def known_figures() -> list[str]:
@@ -437,6 +457,15 @@ def build_sweep(
                 rows, n=p["n"], algorithms=p["algorithms"],
                 layouts=p["layouts"],
             ),
+        )
+    if request.figure == "fig6ms":
+        return (
+            fig6ms_points(
+                n=p["n"], tile=p["tile"], algorithms=p["algorithms"],
+                layouts=p["layouts"], l1_assocs=p["l1_assocs"],
+                l2_assocs=p["l2_assocs"], tlb_entries=p["tlb_entries"],
+            ),
+            lambda rows: fig6ms_merge(rows, n=p["n"], layouts=p["layouts"]),
         )
     if request.figure == "fault":
         return (

@@ -12,8 +12,8 @@ class TestParser:
             a for a in parser._actions if isinstance(a.choices, dict)
         )
         assert set(subparsers.choices) == {
-            "fig1", "fig2", "fig4", "fig5", "fig6", "fig6sim", "fig7",
-            "critical", "scaling", "sharing", "conversion", "gemm",
+            "fig1", "fig2", "fig4", "fig5", "fig6", "fig6sim", "fig6ms",
+            "fig7", "critical", "scaling", "sharing", "conversion", "gemm",
             "accuracy", "verify", "sanitize", "trace", "report",
             "staticcheck", "lint", "perf", "serve",
         }

@@ -23,6 +23,7 @@ from repro.analysis.experiments import (
     fig4_tile_size_sweep,
     fig5_robustness,
     fig6_layout_comparison,
+    fig6_machine_scaling,
     fig6_simulated,
 )
 from repro.matrix.tile import TileRange
@@ -49,6 +50,11 @@ CASES = {
     "fig6sim": lambda jobs: fig6_simulated(
         n=48, tile=8, algorithms=("standard", "strassen"),
         layouts=("LC", "LZ"), machine=MACH, jobs=jobs,
+    ),
+    "fig6ms": lambda jobs: fig6_machine_scaling(
+        n=32, tile=8, algorithms=("standard", "strassen"),
+        layouts=("LC", "LZ"), l1_assocs=(1, 2), l2_assocs=(1, 2),
+        tlb_entries=(8,), jobs=jobs,
     ),
 }
 
@@ -94,7 +100,7 @@ def test_golden_parallel(name, jobs, request):
 
 #: The memsim-backed figures: their traces come from the symbolic
 #: synthesizer by default, from the executed tracer when it is off.
-SIM_CASES = ("fig4", "fig5", "fig6sim")
+SIM_CASES = ("fig4", "fig5", "fig6sim", "fig6ms")
 
 
 @pytest.mark.parametrize("jobs", [1, 2])
@@ -112,6 +118,29 @@ def test_golden_synthesis_toggle(name, synthesis, jobs, monkeypatch, request):
     from repro.memsim import store as store_mod
 
     monkeypatch.setenv("REPRO_TRACE_SYNTHESIS", synthesis)
+    monkeypatch.setenv("REPRO_TRACE_CACHE", "0")
+    monkeypatch.setattr(store_mod, "_DEFAULT", None)
+    path = GOLDEN_DIR / f"{name}.json"
+    assert path.exists(), f"missing golden file {path}"
+    assert path.read_bytes() == _serialize(CASES[name](jobs))
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+@pytest.mark.parametrize("multiconfig", ["1", "0"])
+@pytest.mark.parametrize("name", SIM_CASES)
+def test_golden_multiconfig_toggle(name, multiconfig, jobs, monkeypatch, request):
+    """Goldens hold byte-identical with the shared reuse-distance
+    profiles on (default) and off (per-config streaming oracle),
+    serially and under a 2-worker pool.
+
+    The trace cache is disabled so each leg simulates every point
+    through the selected engine instead of replaying stored stats.
+    """
+    if request.config.getoption("--update-golden"):
+        pytest.skip("golden files update from the serial run only")
+    from repro.memsim import store as store_mod
+
+    monkeypatch.setenv("REPRO_MULTICONFIG", multiconfig)
     monkeypatch.setenv("REPRO_TRACE_CACHE", "0")
     monkeypatch.setattr(store_mod, "_DEFAULT", None)
     path = GOLDEN_DIR / f"{name}.json"

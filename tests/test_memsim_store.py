@@ -5,6 +5,7 @@ import json
 import numpy as np
 import pytest
 
+from repro import knobs
 from repro.memsim import store as store_mod
 from repro.memsim.hierarchy import simulate_hierarchy
 from repro.memsim.machine import modern_like, scaled, ultrasparc_like
@@ -37,6 +38,8 @@ class TestRoundtrip:
             "trace_misses": 1,
             "stats_hits": 0,
             "stats_misses": 0,
+            "profile_hits": 0,
+            "profile_misses": 0,
         }
 
     def test_stats_roundtrip(self, store):
@@ -81,8 +84,15 @@ class TestKeys:
         m2 = dataclasses.replace(MACH, mem=500.0)
         s1 = cached_multiply_stats("standard", "LZ", 32, 8, m1, store=store)
         s2 = cached_multiply_stats("standard", "LZ", 32, 8, m2, store=store)
-        assert store.trace_misses == 1 and store.trace_hits == 1
+        assert store.trace_misses == 1
         assert store.stats_misses == 2
+        if knobs.flag("REPRO_MULTICONFIG"):
+            # The second machine answers from the warm reuse-distance
+            # profile without even touching the trace artifact.
+            assert store.trace_hits == 0
+            assert store.profile_misses == 1 and store.profile_hits == 1
+        else:
+            assert store.trace_hits == 1
         assert s1.l1_misses == s2.l1_misses and s1.cycles != s2.cycles
 
     def test_machine_geometry_splits_stats(self, store):

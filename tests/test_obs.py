@@ -185,7 +185,12 @@ class TestStatsPublishing:
         assert snap["counters"]["memsim.store.stats_hits"] == 1
         assert snap["counters"]["memsim.simulations"] == 2
         addrs = store.content_addresses()
-        assert len(addrs) == 2  # one stats key + one trace key
+        # One stats key + one trace key (+ one profile key when the
+        # multi-config path answers the stats miss).
+        kinds = {a.split(":", 1)[0] for a in addrs}
+        assert kinds >= {"stats", "trace"} and kinds <= {
+            "stats", "trace", "profile"
+        }
         assert any(a.startswith("stats:") and a.endswith("=miss") for a in addrs)
 
 

@@ -16,13 +16,14 @@ from concurrent.futures import ProcessPoolExecutor
 import pytest
 
 import repro.analysis.parallel as par
-from repro import obs
+from repro import knobs, obs
 from repro.analysis.parallel import (
     POINT_FUNCTIONS,
     SweepPoint,
     fig4_points,
     fig5_points,
     fig6_points,
+    fig6ms_points,
     fig6sim_points,
     make_point,
     merge_payloads,
@@ -54,6 +55,10 @@ GRIDS = {
     "fig6sim": fig6sim_points(
         n=32, tile=8, algorithms=("standard",), layouts=("LC", "LZ"),
         machine=MACH,
+    ),
+    "fig6ms": fig6ms_points(
+        n=32, tile=8, algorithms=("standard",), layouts=("LC", "LZ"),
+        l1_assocs=(1, 2), l2_assocs=(1,), tlb_entries=(8,),
     ),
 }
 
@@ -187,6 +192,57 @@ class TestRunSweep:
         assert seen == [len(GRIDS["fig6sim"])]
 
 
+# -- profile-sharing groups --------------------------------------------
+
+class TestGrouping:
+    def test_group_batches_first_seen_order(self):
+        pts = [
+            make_point("fig9", 0, "fig6sim.point", group="b"),
+            make_point("fig9", 1, "fig6sim.point"),
+            make_point("fig9", 2, "fig6sim.point", group="a"),
+            make_point("fig9", 3, "fig6sim.point", group="b"),
+            make_point("fig9", 4, "fig6sim.point"),
+        ]
+        batches = par._group_batches(pts)
+        assert [[p.index for p in b] for b in batches] == [[0, 3], [1], [2], [4]]
+
+    def test_generators_attach_trace_groups(self):
+        # The fig6ms machine axes collapse onto their (algorithm, layout)
+        # row's single trace address.
+        by_group = {}
+        for p in GRIDS["fig6ms"]:
+            assert p.group is not None
+            by_group.setdefault(p.group, []).append(p)
+        assert sorted(len(v) for v in by_group.values()) == [2, 2]
+        assert None not in {p.group for p in GRIDS["fig6sim"]}
+        # fig4 without memsim simulates nothing, so it never groups.
+        ungrouped = fig4_points(
+            n=32, tiles=(4, 8), algorithm="standard", layout="LZ", repeats=1,
+            machine=MACH, include_memsim=False,
+        )
+        assert all(p.group is None for p in ungrouped)
+
+    def test_worker_call_batch_payload_shapes(self, fresh_store, monkeypatch):
+        monkeypatch.setattr(par, "_WORKER_DIR", None)
+        par._pool_init(False, None)
+        batch = [
+            p for p in GRIDS["fig6ms"] if p.group == GRIDS["fig6ms"][0].group
+        ]
+        payloads = par._worker_call_batch(batch)
+        assert [pl["index"] for pl in payloads] == [p.index for p in batch]
+        assert payloads[0]["row"] == run_point(batch[0])
+        if knobs.flag("REPRO_MULTICONFIG"):
+            # Co-location pays: the second member answers from the warm
+            # profile without ever reloading the trace artifact.
+            assert payloads[1]["store_counters"]["profile_hits"] == 1
+            assert payloads[1]["store_counters"]["trace_hits"] == 0
+
+    def test_grouped_pool_matches_serial(self, fresh_store):
+        serial = run_sweep(GRIDS["fig6ms"], jobs=1)
+        pooled = run_sweep(GRIDS["fig6ms"], jobs=2)
+        assert pooled == serial
+
+
 # -- worker-side plumbing (exercised in-process) -----------------------
 
 class TestWorkerCall:
@@ -204,6 +260,7 @@ class TestWorkerCall:
         assert again["store_counters"] == {
             "trace_hits": 0, "trace_misses": 0,
             "stats_hits": 1, "stats_misses": 0,
+            "profile_hits": 0, "profile_misses": 0,
         }
         assert all(v == "hit" for v in again["store_touched"].values())
         assert "spans" not in payload and "metrics" not in payload
